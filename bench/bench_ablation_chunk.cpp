@@ -1,0 +1,100 @@
+// Ablation: message chunking and the per-slice byte budget (paper §4.3:
+// "if the message cannot be transmitted in a single time slice, it is
+// chunked and scheduled over multiple time slices").
+//
+// The budget caps how much payload the DMA Helper moves per slice, keeping
+// the transmission phase inside the slice.  Small budgets throttle bulk
+// bandwidth; unbounded budgets let a bulk transfer overrun the slice and
+// stall the global schedule (slice_overruns).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace bcs;
+using namespace bcs::bench;
+
+struct Result {
+  double bulk_mbps;
+  double small_latency_us;
+  std::uint64_t overruns;
+  std::uint64_t slices;
+};
+
+Result runChunk(std::size_t chunk, std::size_t budget) {
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 4;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(100);
+  cfg.chunk_bytes = chunk;
+  cfg.slice_byte_budget = budget;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  Result r{};
+  const std::size_t bulk_bytes = 4 << 20;
+  // Ranks 0/1: bulk transfer.  Ranks 2/3: concurrent small ping-pong whose
+  // latency shows whether the bulk stream hogs the schedule.
+  bcsmpi::launchJob(*runtime, {0, 1, 2, 3}, [&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<char> buf(bulk_bytes, 'b');
+      const sim::SimTime t0 = comm.now();
+      comm.send(buf.data(), buf.size(), 1, 0);
+      r.bulk_mbps = static_cast<double>(bulk_bytes) /
+                    sim::toSec(comm.now() - t0) / 1e6;
+    } else if (comm.rank() == 1) {
+      std::vector<char> buf(bulk_bytes);
+      comm.recv(buf.data(), buf.size(), 0, 0);
+    } else {
+      char c = 0;
+      sim::Accumulator acc;
+      for (int i = 0; i < 12; ++i) {
+        comm.compute(sim::usec(137 + 61 * i));
+        if (comm.rank() == 2) {
+          const sim::SimTime t0 = comm.now();
+          comm.send(&c, 1, 3, 1);
+          acc.add(sim::toUsec(comm.now() - t0));
+        } else {
+          comm.recv(&c, 1, 2, 1);
+        }
+      }
+      if (comm.rank() == 2) r.small_latency_us = acc.mean();
+    }
+  });
+  cluster.run();
+  r.overruns = runtime->stats().slice_overruns;
+  r.slices = runtime->stats().slices;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: chunk size / per-slice byte budget (4 MiB bulk + "
+         "concurrent 1B ping-pong)");
+  std::printf("%-12s %-12s %-14s %-22s %-10s\n", "chunk (KB)", "budget (KB)",
+              "bulk (MB/s)", "small-msg delay (us)", "overruns");
+  struct P {
+    std::size_t chunk_kb, budget_kb;
+  };
+  for (P p : {P{16, 24}, P{32, 48}, P{64, 96}, P{128, 192}, P{512, 768},
+              P{4096, 8192}}) {
+    const Result r = runChunk(p.chunk_kb << 10, p.budget_kb << 10);
+    std::printf("%-12zu %-12zu %-14.1f %-22.1f %llu/%llu\n", p.chunk_kb,
+                p.budget_kb, r.bulk_mbps, r.small_latency_us,
+                static_cast<unsigned long long>(r.overruns),
+                static_cast<unsigned long long>(r.slices));
+  }
+  std::printf(
+      "\nShape: bulk bandwidth rises with the budget until it saturates the\n"
+      "per-slice transmission window; past that, transfers overrun the\n"
+      "slice and the global schedule (and the concurrent small-message\n"
+      "traffic) degrades.  The paper's 64 KiB chunks keep the phases inside\n"
+      "500 us at QsNet bandwidth.\n");
+  return 0;
+}

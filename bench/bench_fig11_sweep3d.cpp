@@ -1,0 +1,51 @@
+// Figure 11 reproduction: SWEEP3D runtime under the production-style MPI
+// and under BCS-MPI, as a function of the number of processes.
+//   (a) original blocking send/receive version — BCS-MPI pays the
+//       slice-alignment cost of every blocking call (paper: ~30% slowdown);
+//   (b) non-blocking rewrite (Isend/Irecv + Waitall, <50 changed lines) —
+//       the penalty disappears and BCS-MPI runs at par or slightly ahead.
+
+#include <cstdio>
+
+#include "apps/wavefront.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace bcs;
+using namespace bcs::bench;
+
+void panel(const HarnessConfig& h, bool blocking) {
+  banner(blocking
+             ? "Figure 11(a): SWEEP3D, blocking send/receive"
+             : "Figure 11(b): SWEEP3D, non-blocking (Isend/Irecv + Waitall)");
+  std::printf("%-12s %-16s %-16s %-12s\n", "processes", "baseline (s)",
+              "BCS-MPI (s)", "slowdown (%)");
+  for (int np : {8, 16, 32, 48, 62}) {
+    apps::Sweep3dConfig cfg;
+    cfg.blocking = blocking;
+    const auto app = [cfg](mpi::Comm& c) { (void)apps::sweep3d(c, cfg); };
+    const double base = runBaseline(h, np, app).seconds;
+    const double bcs_s = runBcs(h, np, app).seconds;
+    std::printf("%-12d %-16.3f %-16.3f %-12.2f\n", np, base, bcs_s,
+                slowdownPct(bcs_s, base));
+  }
+}
+
+}  // namespace
+
+int main() {
+  HarnessConfig h;
+  // SWEEP3D production runs last minutes-to-hours; the one-time runtime
+  // bring-up is negligible there, so it is excluded from this scaled-down
+  // run (see EXPERIMENTS.md).
+  h.baseline.init_overhead = sim::usec(100);
+  h.bcs.runtime_init_overhead = sim::usec(100);
+  panel(h, /*blocking=*/true);
+  panel(h, /*blocking=*/false);
+  std::printf(
+      "\nPaper shape: ~30%% slowdown for the blocking version at every\n"
+      "process count; the non-blocking rewrite eliminates it (slightly\n"
+      "negative slowdown in the paper).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8 reproduction: slowdown of BCS-MPI vs the production-style MPI on
+// the two synthetic bulk-synchronous benchmarks.
+//   (a) computation + barrier, 62 processes, granularity sweep
+//   (b) computation + barrier, 10 ms granularity, process-count sweep
+//   (c) computation + 4-neighbour exchange (4 KB), 62 procs, granularity sweep
+//   (d) computation + 4-neighbour exchange, 10 ms granularity, process sweep
+
+#include <cstdio>
+
+#include "apps/synthetic.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace bcs;
+using namespace bcs::bench;
+using sim::msec;
+
+constexpr int kIterations = 40;
+
+double barrierSlowdown(const HarnessConfig& h, int nprocs, double gran_ms) {
+  apps::SyntheticBarrierConfig cfg;
+  cfg.granularity = msec(gran_ms);
+  cfg.iterations = kIterations;
+  sim::Duration base = 0, bcs_t = 0;
+  auto app = [&cfg](sim::Duration* out) {
+    return [&cfg, out](mpi::Comm& c) {
+      const sim::Duration e = apps::syntheticBarrier(c, cfg);
+      if (c.rank() == 0) *out = e;
+    };
+  };
+  runBaseline(h, nprocs, app(&base));
+  runBcs(h, nprocs, app(&bcs_t));
+  return slowdownPct(static_cast<double>(bcs_t), static_cast<double>(base));
+}
+
+double neighborSlowdown(const HarnessConfig& h, int nprocs, double gran_ms) {
+  apps::SyntheticNeighborConfig cfg;
+  cfg.granularity = msec(gran_ms);
+  cfg.iterations = kIterations;
+  cfg.neighbors = 4;
+  cfg.message_bytes = 4096;
+  sim::Duration base = 0, bcs_t = 0;
+  auto app = [&cfg](sim::Duration* out) {
+    return [&cfg, out](mpi::Comm& c) {
+      const sim::Duration e = apps::syntheticNeighbor(c, cfg);
+      if (c.rank() == 0) *out = e;
+    };
+  };
+  runBaseline(h, nprocs, app(&base));
+  runBcs(h, nprocs, app(&bcs_t));
+  return slowdownPct(static_cast<double>(bcs_t), static_cast<double>(base));
+}
+
+}  // namespace
+
+int main() {
+  HarnessConfig h;
+  // The measured loop excludes init (both sides aligned by a barrier), so
+  // init overheads are irrelevant here; keep them small to save sim time.
+  h.baseline.init_overhead = sim::usec(100);
+  h.bcs.runtime_init_overhead = sim::usec(100);
+
+  const double grans[] = {0.5, 1, 2, 5, 10, 20, 50};
+  const int procs[] = {4, 8, 16, 32, 48, 62};
+
+  banner("Figure 8(a): computation + barrier, 62 processes");
+  std::printf("%-18s %-14s\n", "granularity (ms)", "slowdown (%)");
+  for (double g : grans) {
+    std::printf("%-18.1f %-14.2f\n", g, barrierSlowdown(h, 62, g));
+  }
+
+  banner("Figure 8(b): computation + barrier, 10 ms granularity");
+  std::printf("%-12s %-14s\n", "processes", "slowdown (%)");
+  for (int p : procs) {
+    std::printf("%-12d %-14.2f\n", p, barrierSlowdown(h, p, 10));
+  }
+
+  banner(
+      "Figure 8(c): computation + nearest-neighbour (4 neighbours, 4KB), "
+      "62 processes");
+  std::printf("%-18s %-14s\n", "granularity (ms)", "slowdown (%)");
+  for (double g : grans) {
+    std::printf("%-18.1f %-14.2f\n", g, neighborSlowdown(h, 62, g));
+  }
+
+  banner("Figure 8(d): computation + nearest-neighbour, 10 ms granularity");
+  std::printf("%-12s %-14s\n", "processes", "slowdown (%)");
+  for (int p : procs) {
+    std::printf("%-12d %-14.2f\n", p, neighborSlowdown(h, p, 10));
+  }
+
+  std::printf(
+      "\nPaper shape: slowdown falls as granularity grows (<7.5%% at 10 ms\n"
+      "for barrier, <8%% for the neighbour stencil) and is nearly flat in\n"
+      "the number of processes.\n");
+  return 0;
+}

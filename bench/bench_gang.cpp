@@ -1,0 +1,80 @@
+// Gang-scheduling benchmark (paper §5.4, mitigation option 1): when an
+// application blocks for communication, schedule a different parallel job
+// in the wasted slices.  Two fine-grained blocking-heavy jobs time-share
+// the machine; with gang scheduling their combined makespan approaches the
+// serial sum of their *useful* work rather than the sum of their padded
+// runtimes.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/wavefront.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace bcs;
+using namespace bcs::bench;
+
+apps::Sweep3dConfig jobConfig() {
+  apps::Sweep3dConfig cfg;
+  cfg.time_steps = 3;
+  cfg.sweeps_per_step = 4;
+  cfg.blocks = 4;
+  cfg.blocking = true;  // lots of blocked slices to give away
+  return cfg;
+}
+
+double runJobs(bool gang, int njobs, double* per_job_seconds) {
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 8;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(100);
+  cfg.gang_scheduling = gang;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  const auto app_cfg = jobConfig();
+  std::vector<std::vector<sim::SimTime>> finishes(
+      static_cast<std::size_t>(njobs));
+  for (int j = 0; j < njobs; ++j) {
+    bcsmpi::launchJob(
+        *runtime, {0, 1, 2, 3, 4, 5, 6, 7},
+        [app_cfg](mpi::Comm& c) { (void)apps::sweep3d(c, app_cfg); },
+        &finishes[static_cast<std::size_t>(j)]);
+  }
+  cluster.run();
+  sim::SimTime makespan = 0;
+  for (int j = 0; j < njobs; ++j) {
+    sim::SimTime last = 0;
+    for (auto t : finishes[static_cast<std::size_t>(j)]) {
+      last = std::max(last, t);
+    }
+    per_job_seconds[j] = sim::toSec(last);
+    makespan = std::max(makespan, last);
+  }
+  return sim::toSec(makespan);
+}
+
+}  // namespace
+
+int main() {
+  banner("Gang scheduling: two blocking-heavy jobs sharing 8 nodes");
+
+  double solo[1];
+  const double solo_makespan = runJobs(false, 1, solo);
+  std::printf("single job alone:                 %.3f s\n", solo_makespan);
+
+  double both[2];
+  const double gang_makespan = runJobs(true, 2, both);
+  std::printf("two jobs, gang scheduled:         %.3f s (job A %.3f, job B %.3f)\n",
+              gang_makespan, both[0], both[1]);
+  std::printf("naive serial estimate (2x solo):  %.3f s\n", 2 * solo_makespan);
+  std::printf("efficiency vs serial:             %.1f %%\n",
+              200.0 * solo_makespan / gang_makespan -
+                  100.0);  // >0%: slices reclaimed
+  std::printf(
+      "\nShape: the gang-scheduled makespan lands below 2x the solo time\n"
+      "because each job computes in slices the other spends blocked.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// STORM job-launch microbenchmark (the substrate claim of [8], paper §4):
+// launching a job image over the hardware-collective primitives costs
+// almost the same on 4 nodes as on 256 — unlike rsh/tree-based launchers.
+
+#include <cstdio>
+#include <vector>
+
+#include "storm/storm.hpp"
+
+int main() {
+  using namespace bcs;
+
+  std::printf("STORM job launch latency (hardware-collective transfer + NM "
+              "spawn + CAW readiness poll)\n\n");
+  std::printf("%-14s", "image size");
+  for (int n : {4, 16, 64, 128, 256}) std::printf("%10d", n);
+  std::printf("   (nodes)\n");
+
+  for (std::size_t mb : {1u, 4u, 16u}) {
+    std::printf("%3zu MiB       ", mb);
+    for (int n : {4, 16, 64, 128, 256}) {
+      net::ClusterConfig ccfg;
+      ccfg.num_compute_nodes = n;
+      net::Cluster cluster(ccfg);
+      storm::Storm storm(cluster);
+      std::vector<int> nodes;
+      for (int i = 0; i < n; ++i) nodes.push_back(i);
+      sim::SimTime latency = -1;
+      storm.launchImage(nodes, mb << 20, /*procs_per_node=*/2,
+                        [&](sim::SimTime lat) { latency = lat; });
+      cluster.run();
+      std::printf("%9.1fms", sim::toMsec(latency));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape: latency tracks image size / multicast bandwidth and is\n"
+      "nearly flat in the node count — STORM's 'orders of magnitude faster\n"
+      "than production' launch claim rides entirely on the BCS core\n"
+      "primitives.\n");
+  return 0;
+}

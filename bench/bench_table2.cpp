@@ -1,0 +1,89 @@
+// Table 2 reproduction: application/benchmark slowdown summary.
+//
+//   Application | paper slowdown
+//   SAGE        |  -0.42 %
+//   SWEEP3D     |  -2.23 %   (non-blocking rewrite)
+//   IS          |  10.14 %
+//   EP          |   5.35 %
+//   MG          |   4.37 %
+//   CG          |  10.83 %
+//   LU          |  15.04 %
+
+#include <cstdio>
+#include <functional>
+
+#include "apps/nas.hpp"
+#include "apps/wavefront.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace bcs;
+using namespace bcs::bench;
+
+struct Row {
+  const char* name;
+  int np;
+  AppFn app;
+  double paper_pct;
+  bool short_run;  ///< include the BCS runtime bring-up (NPB-style run)
+};
+
+}  // namespace
+
+int main() {
+  HarnessConfig npb;
+  npb.bcs.runtime_init_overhead = sim::msec(1100);
+  npb.baseline.init_overhead = sim::msec(30);
+
+  HarnessConfig prod;  // long production codes: bring-up negligible
+  prod.bcs.runtime_init_overhead = sim::msec(30);
+  prod.baseline.init_overhead = sim::msec(5);
+
+  apps::SageConfig sage_cfg;
+  apps::Sweep3dConfig sw_cfg;
+  sw_cfg.blocking = false;  // Table 2 lists the non-blocking rewrite
+  apps::IsConfig is_cfg;
+  apps::EpConfig ep_cfg;
+  apps::MgConfig mg_cfg;
+  apps::CgConfig cg_cfg;
+  apps::LuConfig lu_cfg;
+
+  const Row rows[] = {
+      {"SAGE", 62, [sage_cfg](mpi::Comm& c) { (void)apps::sage(c, sage_cfg); },
+       -0.42, false},
+      {"SWEEP3D", 62,
+       [sw_cfg](mpi::Comm& c) { (void)apps::sweep3d(c, sw_cfg); }, -2.23,
+       false},
+      {"IS", 64, [is_cfg](mpi::Comm& c) { (void)apps::nasIS(c, is_cfg); },
+       10.14, true},
+      {"EP", 64, [ep_cfg](mpi::Comm& c) { (void)apps::nasEP(c, ep_cfg); },
+       5.35, true},
+      {"MG", 64, [mg_cfg](mpi::Comm& c) { (void)apps::nasMG(c, mg_cfg); },
+       4.37, true},
+      {"CG", 64, [cg_cfg](mpi::Comm& c) { (void)apps::nasCG(c, cg_cfg); },
+       10.83, true},
+      {"LU", 64, [lu_cfg](mpi::Comm& c) { (void)apps::nasLU(c, lu_cfg); },
+       15.04, true},
+  };
+
+  banner("Table 2: Benchmark and Application Slowdown (BCS-MPI vs "
+         "production-style MPI)");
+  std::printf("%-10s %-12s %-14s %-14s\n", "app", "processes",
+              "measured (%)", "paper (%)");
+  for (const Row& r : rows) {
+    const HarnessConfig& h = r.short_run ? npb : prod;
+    const double base = runBaseline(h, r.np, r.app).seconds;
+    const double bcs_s = runBcs(h, r.np, r.app).seconds;
+    std::printf("%-10s %-12d %-14.2f %-14.2f\n", r.name, r.np,
+                slowdownPct(bcs_s, base), r.paper_pct);
+  }
+  std::printf(
+      "\nNotes: NPB rows are short class-C runs and include the BCS-MPI\n"
+      "runtime bring-up (the paper's explanation for IS/EP); SAGE and\n"
+      "SWEEP3D are long production codes where it is negligible.  The\n"
+      "paper's slightly *negative* slowdowns for SAGE/SWEEP3D come from\n"
+      "OS-noise on the real cluster's baseline, which bench_ablation_noise\n"
+      "explores separately.\n");
+  return 0;
+}

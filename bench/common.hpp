@@ -1,0 +1,84 @@
+#pragma once
+
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary builds a fresh simulated cluster per data point, runs
+// the same application skeleton over the baseline ("Quadrics MPI"-style)
+// implementation and over BCS-MPI, and prints the rows/series of the
+// corresponding paper table or figure.  Times are *simulated* seconds.
+
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "bcsmpi/comm.hpp"
+#include "mpi/comm.hpp"
+#include "net/cluster.hpp"
+
+namespace bcs::bench {
+
+using AppFn = std::function<void(mpi::Comm&)>;
+
+struct RunResult {
+  double seconds = 0;  ///< max rank finish time (total runtime incl. init)
+};
+
+struct HarnessConfig {
+  int procs_per_node = 2;  ///< crescendo: dual-CPU nodes
+  net::NetworkParams network = net::NetworkParams::qsnet();
+  baseline::BaselineConfig baseline;
+  bcsmpi::BcsMpiConfig bcs;
+  bool inject_noise = false;
+  sim::NoiseConfig noise;
+};
+
+inline int nodesFor(int nprocs, int per_node) {
+  return (nprocs + per_node - 1) / per_node;
+}
+
+inline net::ClusterConfig clusterConfig(const HarnessConfig& h, int nprocs) {
+  net::ClusterConfig c;
+  c.num_compute_nodes = nodesFor(nprocs, h.procs_per_node);
+  c.network = h.network;
+  c.inject_noise = h.inject_noise;
+  c.noise = h.noise;
+  return c;
+}
+
+inline RunResult runBaseline(const HarnessConfig& h, int nprocs,
+                             const AppFn& app) {
+  net::Cluster cluster(clusterConfig(h, nprocs));
+  const auto map = baseline::blockMapping(nprocs, cluster.numComputeNodes(),
+                                          h.procs_per_node);
+  std::vector<sim::SimTime> finish;
+  baseline::runJob(cluster, h.baseline, map, app, &finish);
+  sim::SimTime last = 0;
+  for (auto t : finish) last = std::max(last, t);
+  return RunResult{sim::toSec(last)};
+}
+
+inline RunResult runBcs(const HarnessConfig& h, int nprocs, const AppFn& app) {
+  net::Cluster cluster(clusterConfig(h, nprocs));
+  const auto map = baseline::blockMapping(nprocs, cluster.numComputeNodes(),
+                                          h.procs_per_node);
+  std::vector<sim::SimTime> finish;
+  bcsmpi::runJob(cluster, h.bcs, map, app, &finish);
+  sim::SimTime last = 0;
+  for (auto t : finish) last = std::max(last, t);
+  return RunResult{sim::toSec(last)};
+}
+
+inline double slowdownPct(double bcs_s, double base_s) {
+  return (bcs_s / base_s - 1.0) * 100.0;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bcs::bench

@@ -1,0 +1,82 @@
+// Quickstart: the smallest complete BCS-MPI program.
+//
+// Builds a simulated 8-node QsNet cluster, runs a 16-process SPMD job that
+// exchanges halos with non-blocking operations and closes each step with an
+// allreduce, then prints what the globally scheduled runtime did.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+
+int main() {
+  using namespace bcs;
+
+  // 1. A simulated machine: 8 dual-CPU compute nodes + 1 management node
+  //    on a quaternary fat tree with QsNet-era constants.
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = 8;
+  net::Cluster cluster(machine);
+
+  // 2. The BCS-MPI runtime: 500 us time slices, descriptors scheduled
+  //    globally at every slice boundary (all defaults from the paper).
+  bcsmpi::BcsMpiConfig mpi_cfg;
+  mpi_cfg.runtime_init_overhead = sim::msec(1);  // small demo job
+
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, mpi_cfg);
+
+  // 3. A 16-rank SPMD body written against mpi::Comm — the same code runs
+  //    unmodified over the baseline eager/rendezvous MPI (see
+  //    src/baseline) for apples-to-apples comparisons.
+  const std::vector<int> node_of_rank = {0, 0, 1, 1, 2, 2, 3, 3,
+                                         4, 4, 5, 5, 6, 6, 7, 7};
+  std::vector<sim::SimTime> finish;
+  bcsmpi::launchJob(*runtime, node_of_rank, [](mpi::Comm& comm) {
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    const int right = (comm.rank() + 1) % comm.size();
+    std::vector<double> halo_out(512, comm.rank() * 1.0), halo_in(512);
+
+    double residual = 1.0;
+    for (int step = 0; step < 5 && residual > 1e-9; ++step) {
+      // Post the exchange, overlap it with the step's computation, then
+      // verify completion — the pattern BCS-MPI rewards (paper §3.2).
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.irecvv<double>(halo_in, left, step));
+      reqs.push_back(comm.isendv<double>(
+          std::span<const double>(halo_out), right, step));
+      comm.compute(sim::msec(2));  // the "science"
+      comm.waitall(reqs);
+
+      // Global convergence check on the NIC-side Reduce Helper.
+      residual = comm.allreduceOne(halo_in[0] / (step + 1.0),
+                                   mpi::ReduceOp::kMax);
+    }
+    if (comm.rank() == 0) {
+      std::printf("rank 0 done at %s, final residual %.3f\n",
+                  sim::formatTime(comm.now()).c_str(), residual);
+    }
+  }, &finish);
+
+  // 4. Run the discrete-event simulation to completion.
+  cluster.run();
+
+  sim::SimTime last = 0;
+  for (auto t : finish) last = std::max(last, t);
+  const auto& stats = runtime->stats();
+  std::printf("job finished at %s\n", sim::formatTime(last).c_str());
+  std::printf("time slices: %llu, microstrobes: %llu\n",
+              static_cast<unsigned long long>(stats.slices),
+              static_cast<unsigned long long>(stats.microstrobes));
+  std::printf("descriptors exchanged: %llu, matches: %llu, chunks: %llu\n",
+              static_cast<unsigned long long>(stats.descriptors_exchanged),
+              static_cast<unsigned long long>(stats.matches),
+              static_cast<unsigned long long>(stats.chunks_transferred));
+  std::printf("collectives scheduled: %llu\n",
+              static_cast<unsigned long long>(stats.collectives_scheduled));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The paper's §5.4 story, end to end: take a fine-grained wavefront code
+// (SWEEP3D) that uses blocking send/receive, watch it lose ~30% under
+// BCS-MPI, apply the <50-line non-blocking rewrite, and watch the penalty
+// vanish.
+//
+//   $ ./examples/sweep3d_tuning
+
+#include <cstdio>
+
+#include "apps/wavefront.hpp"
+#include "baseline/baseline.hpp"
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+
+namespace {
+
+using namespace bcs;
+
+double runOnce(bool use_bcs, bool blocking) {
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = 8;
+  net::Cluster cluster(machine);
+
+  apps::Sweep3dConfig cfg;
+  cfg.time_steps = 4;
+  cfg.blocking = blocking;
+  const auto app = [cfg](mpi::Comm& c) { (void)apps::sweep3d(c, cfg); };
+  const auto map = baseline::blockMapping(16, 8, 2);
+
+  std::vector<sim::SimTime> finish;
+  if (use_bcs) {
+    bcsmpi::BcsMpiConfig mcfg;
+    mcfg.runtime_init_overhead = sim::usec(100);
+    bcsmpi::runJob(cluster, mcfg, map, app, &finish);
+  } else {
+    baseline::BaselineConfig bcfg;
+    bcfg.init_overhead = sim::usec(100);
+    baseline::runJob(cluster, bcfg, map, app, &finish);
+  }
+  sim::SimTime last = 0;
+  for (auto t : finish) last = std::max(last, t);
+  return sim::toSec(last);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SWEEP3D (16 ranks, 3.5 ms wavefront steps)\n\n");
+
+  const double base_blk = runOnce(false, true);
+  const double bcs_blk = runOnce(true, true);
+  std::printf("1. original blocking code:\n");
+  std::printf("   production-style MPI : %.3f s\n", base_blk);
+  std::printf("   BCS-MPI              : %.3f s   (%+.1f%%)\n\n", bcs_blk,
+              (bcs_blk / base_blk - 1) * 100);
+  std::printf("   Every MPI_Send/MPI_Recv suspends the process until a slice\n"
+              "   boundary: ~1.5 slices each, and SWEEP3D makes four per\n"
+              "   3.5 ms step.\n\n");
+
+  const double base_nb = runOnce(false, false);
+  const double bcs_nb = runOnce(true, false);
+  std::printf("2. after the non-blocking rewrite (Isend/Irecv + Waitall):\n");
+  std::printf("   production-style MPI : %.3f s\n", base_nb);
+  std::printf("   BCS-MPI              : %.3f s   (%+.1f%%)\n\n", bcs_nb,
+              (bcs_nb / base_nb - 1) * 100);
+  std::printf("   Pre-posted receives let the NIC transfer block b+1 while\n"
+              "   the CPU computes block b; MPI_Wait just checks a flag.\n");
+  return 0;
+}

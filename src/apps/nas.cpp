@@ -1,0 +1,169 @@
+#include "apps/nas.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace bcs::apps {
+
+namespace {
+
+/// Ring-offset neighbour list (same shape as the synthetic benchmark).
+std::vector<int> ringNeighbors(int rank, int size, int count) {
+  std::vector<int> peers;
+  for (int k = 0; k < count; ++k) {
+    const int off = k / 2 + 1;
+    peers.push_back((k % 2 == 0) ? (rank + off) % size
+                                 : (rank + size - off) % size);
+  }
+  return peers;
+}
+
+/// Non-blocking halo exchange with `peers`; returns a delivery checksum.
+double haloExchange(mpi::Comm& comm, const std::vector<int>& peers,
+                    std::size_t bytes, int tag) {
+  std::vector<std::vector<std::uint8_t>> out(peers.size()), in(peers.size());
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(2 * peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    out[i].assign(bytes, static_cast<std::uint8_t>(
+                             (comm.rank() * 37 + tag) & 0xFF));
+    in[i].resize(bytes);
+    reqs.push_back(comm.irecv(in[i].data(), bytes, peers[i], tag));
+  }
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    reqs.push_back(comm.isend(out[i].data(), bytes, peers[i], tag));
+  }
+  comm.waitall(reqs);
+  double sum = 0;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (in[i][0] != static_cast<std::uint8_t>((peers[i] * 37 + tag) & 0xFF)) {
+      throw sim::SimError("haloExchange: corrupted halo");
+    }
+    sum += static_cast<double>(in[i][bytes / 2]);
+  }
+  return sum;
+}
+
+}  // namespace
+
+double nasIS(mpi::Comm& comm, const IsConfig& cfg) {
+  const int P = comm.size();
+  const auto per_peer = cfg.bytes_per_peer;
+  std::vector<std::uint8_t> send_keys(per_peer * static_cast<std::size_t>(P));
+  std::vector<std::uint8_t> recv_keys(per_peer * static_cast<std::size_t>(P));
+  double checksum = 0;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // Local ranking of keys.
+    comm.compute(cfg.compute_per_iteration);
+    // Key redistribution: the all-to-all that dominates IS communication.
+    for (int d = 0; d < P; ++d) {
+      send_keys[static_cast<std::size_t>(d) * per_peer] =
+          static_cast<std::uint8_t>((comm.rank() + d + it) & 0xFF);
+    }
+    comm.alltoall(send_keys.data(), per_peer, recv_keys.data());
+    for (int s = 0; s < P; ++s) {
+      const auto v = recv_keys[static_cast<std::size_t>(s) * per_peer];
+      if (v != static_cast<std::uint8_t>((s + comm.rank() + it) & 0xFF)) {
+        throw sim::SimError("nasIS: bad key block");
+      }
+      checksum += v;
+    }
+    // Verification allreduce over the key counts.
+    checksum += static_cast<double>(comm.allreduceOne(
+        static_cast<std::int64_t>(comm.rank() + it), mpi::ReduceOp::kSum));
+  }
+  return checksum;
+}
+
+double nasEP(mpi::Comm& comm, const EpConfig& cfg) {
+  for (int c = 0; c < cfg.compute_chunks; ++c) {
+    comm.compute(cfg.total_compute / cfg.compute_chunks);
+  }
+  // Gaussian-pair counts: three small allreduces (sx, sy, counts).
+  double checksum = 0;
+  checksum += comm.allreduceOne(0.5 * (comm.rank() + 1), mpi::ReduceOp::kSum);
+  checksum += comm.allreduceOne(1.5 * (comm.rank() + 1), mpi::ReduceOp::kSum);
+  checksum += static_cast<double>(comm.allreduceOne(
+      static_cast<std::int64_t>(comm.rank()), mpi::ReduceOp::kMax));
+  return checksum;
+}
+
+double nasCG(mpi::Comm& comm, const CgConfig& cfg) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  std::vector<std::uint8_t> out(cfg.exchange_bytes), in(cfg.exchange_bytes);
+  double checksum = 0;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    comm.compute(cfg.compute_per_iteration);
+    // Consecutive blocking transpose exchanges (q <- A.p): partner flips a
+    // different bit each round; even ranks send first, odd receive first,
+    // so the blocking pair never deadlocks.
+    for (int round = 0; round < cfg.exchange_rounds; ++round) {
+      int partner = me ^ (1 << round);
+      if (partner >= P) partner = me;  // edge of a non-power-of-two grid
+      if (partner == me) continue;
+      out.assign(cfg.exchange_bytes,
+                 static_cast<std::uint8_t>((me + it + round) & 0xFF));
+      if (((me >> round) & 1) == 0) {
+        comm.send(out.data(), out.size(), partner, round);
+        comm.recv(in.data(), in.size(), partner, round);
+      } else {
+        comm.recv(in.data(), in.size(), partner, round);
+        comm.send(out.data(), out.size(), partner, round);
+      }
+      if (in[0] !=
+          static_cast<std::uint8_t>((partner + it + round) & 0xFF)) {
+        throw sim::SimError("nasCG: bad exchange");
+      }
+      checksum += in[0];
+    }
+    // Two dot-product allreduces per iteration (rho, alpha denominators).
+    checksum += comm.allreduceOne(1e-3 * (me + it), mpi::ReduceOp::kSum);
+    checksum += comm.allreduceOne(2e-3 * (me - it), mpi::ReduceOp::kSum);
+  }
+  return checksum;
+}
+
+double nasMG(mpi::Comm& comm, const MgConfig& cfg) {
+  const auto peers = ringNeighbors(comm.rank(), comm.size(), 4);
+  double checksum = 0;
+  for (int cycle = 0; cycle < cfg.cycles; ++cycle) {
+    // Down-sweep then up-sweep of the V-cycle: compute and halo size halve
+    // with each coarser level.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int l = 0; l < cfg.levels; ++l) {
+        const int level = (pass == 0) ? l : cfg.levels - 1 - l;
+        comm.compute(cfg.compute_top_level >> level);
+        const std::size_t halo =
+            std::max<std::size_t>(cfg.halo_top_bytes >> level, 256);
+        checksum += haloExchange(comm, peers, halo,
+                                 cycle * 2 * cfg.levels + pass * cfg.levels +
+                                     level);
+      }
+    }
+    checksum +=
+        comm.allreduceOne(1e-6 * comm.rank() + cycle, mpi::ReduceOp::kMax);
+  }
+  return checksum;
+}
+
+double sage(mpi::Comm& comm, const SageConfig& cfg) {
+  const auto peers = ringNeighbors(comm.rank(), comm.size(), cfg.neighbors);
+  double checksum = 0;
+  for (int step = 0; step < cfg.steps; ++step) {
+    // Adaptive-mesh compute step...
+    comm.compute(cfg.compute_per_step);
+    // ...gather/scatter of ghost cells with non-blocking operations...
+    checksum += haloExchange(comm, peers, cfg.halo_bytes, step);
+    // ...and the global reduction closing every compute step (§5.3).
+    checksum += comm.allreduceOne(1e-3 * (comm.rank() + step),
+                                  mpi::ReduceOp::kSum);
+  }
+  return checksum;
+}
+
+}  // namespace bcs::apps

@@ -1,0 +1,68 @@
+#pragma once
+
+// Communication skeletons of the NAS Parallel Benchmarks used in §5.3
+// (NPB 2.4, class C): IS, EP, CG, MG.  LU lives in wavefront.hpp.
+//
+// Each skeleton reproduces the documented communication pattern and
+// granularity of the original code; the numerical work is replaced by
+// calibrated virtual compute time plus a small amount of real arithmetic
+// whose checksum validates message delivery across MPI implementations.
+
+#include <cstddef>
+
+#include "mpi/comm.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::apps {
+
+/// IS — Integer Sort: bucket sort of integer keys.  Coarse-grained; per
+/// iteration an all-to-all(v) key redistribution plus small allreduces.
+struct IsConfig {
+  int iterations = 10;
+  sim::Duration compute_per_iteration = sim::msec(1050);
+  std::size_t bytes_per_peer = 32 * 1024;  ///< key exchange volume / peer
+};
+double nasIS(mpi::Comm& comm, const IsConfig& cfg);
+
+/// EP — Embarrassingly Parallel: pure computation, three small allreduces
+/// at the end.
+struct EpConfig {
+  sim::Duration total_compute = sim::sec(20.2);
+  int compute_chunks = 16;  ///< granularity of progress (no communication)
+};
+double nasEP(mpi::Comm& comm, const EpConfig& cfg);
+
+/// CG — Conjugate Gradient: per iteration, consecutive *blocking* transpose
+/// exchanges (the paper's explanation for CG's slowdown) plus dot-product
+/// allreduces.
+struct CgConfig {
+  int iterations = 75;
+  sim::Duration compute_per_iteration = sim::msec(170);
+  std::size_t exchange_bytes = 16 * 1024;
+  int exchange_rounds = 2;  ///< consecutive blocking send/recv rounds
+};
+double nasCG(mpi::Comm& comm, const CgConfig& cfg);
+
+/// MG — Multigrid: V-cycles over grid levels; nearest-neighbour halo
+/// exchanges (non-blocking) whose message size shrinks with the level,
+/// plus one allreduce per cycle.
+struct MgConfig {
+  int cycles = 40;
+  int levels = 5;
+  sim::Duration compute_top_level = sim::msec(200);  ///< halves per level
+  std::size_t halo_top_bytes = 32 * 1024;            ///< halves per level
+};
+double nasMG(mpi::Comm& comm, const MgConfig& cfg);
+
+/// SAGE (SAIC's Adaptive Grid Eulerian hydrocode), timing.input: medium
+/// granularity, non-blocking nearest-neighbour exchange + one small reduce
+/// per compute step (§5.3).
+struct SageConfig {
+  int steps = 24;
+  sim::Duration compute_per_step = sim::msec(260);
+  std::size_t halo_bytes = 48 * 1024;
+  int neighbors = 4;
+};
+double sage(mpi::Comm& comm, const SageConfig& cfg);
+
+}  // namespace bcs::apps

@@ -1,0 +1,52 @@
+#include "apps/synthetic.hpp"
+
+#include <vector>
+
+namespace bcs::apps {
+
+sim::Duration syntheticBarrier(mpi::Comm& comm,
+                               const SyntheticBarrierConfig& cfg) {
+  comm.barrier();  // align everyone before measuring
+  const sim::SimTime t0 = comm.now();
+  for (int i = 0; i < cfg.iterations; ++i) {
+    comm.compute(cfg.granularity);
+    comm.barrier();
+  }
+  return comm.now() - t0;
+}
+
+sim::Duration syntheticNeighbor(mpi::Comm& comm,
+                                const SyntheticNeighborConfig& cfg) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  // Neighbour k of rank r is r +- (k/2 + 1) around the ring — a standard
+  // stand-in for a stencil when P is not a perfect grid.
+  std::vector<int> peers;
+  for (int k = 0; k < cfg.neighbors; ++k) {
+    const int off = k / 2 + 1;
+    peers.push_back((k % 2 == 0) ? (me + off) % P : (me + P - off) % P);
+  }
+  std::vector<std::vector<char>> out(peers.size()), in(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    out[i].assign(cfg.message_bytes, static_cast<char>(me));
+    in[i].resize(cfg.message_bytes);
+  }
+
+  comm.barrier();
+  const sim::SimTime t0 = comm.now();
+  for (int it = 0; it < cfg.iterations; ++it) {
+    comm.compute(cfg.granularity);
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(2 * peers.size());
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      reqs.push_back(comm.irecv(in[i].data(), in[i].size(), peers[i], it));
+    }
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      reqs.push_back(comm.isend(out[i].data(), out[i].size(), peers[i], it));
+    }
+    comm.waitall(reqs);
+  }
+  return comm.now() - t0;
+}
+
+}  // namespace bcs::apps

@@ -1,0 +1,39 @@
+#pragma once
+
+// The two synthetic benchmarks of paper §5.2.
+//
+// Many scientific codes are bulk-synchronous [Valiant'90]: compute for a
+// granularity g, then either globally synchronize or exchange messages with
+// a nearest-neighbour stencil.  Figure 8 sweeps the granularity and the
+// number of processes for both patterns.
+
+#include <cstddef>
+
+#include "mpi/comm.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::apps {
+
+struct SyntheticBarrierConfig {
+  sim::Duration granularity = sim::msec(10);
+  int iterations = 50;
+};
+
+/// Compute-then-barrier loop (Figure 8 a/b).  Returns the per-rank elapsed
+/// time of the measured loop (init excluded).
+sim::Duration syntheticBarrier(mpi::Comm& comm,
+                               const SyntheticBarrierConfig& cfg);
+
+struct SyntheticNeighborConfig {
+  sim::Duration granularity = sim::msec(10);
+  int iterations = 50;
+  int neighbors = 4;                 ///< paper: 4 neighbours
+  std::size_t message_bytes = 4096;  ///< paper: 4 KB messages
+};
+
+/// Compute, exchange non-blocking messages with a ring-offset neighbour
+/// stencil, wait for all (Figure 8 c/d).  Returns per-rank elapsed time.
+sim::Duration syntheticNeighbor(mpi::Comm& comm,
+                                const SyntheticNeighborConfig& cfg);
+
+}  // namespace bcs::apps

@@ -1,0 +1,187 @@
+#include "bcs/core.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace bcs::core {
+
+const char* cmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kGE: return ">=";
+    case CmpOp::kLT: return "<";
+    case CmpOp::kEQ: return "==";
+    case CmpOp::kNE: return "!=";
+  }
+  return "?";
+}
+
+bool cmpEval(CmpOp op, std::int64_t lhs, std::int64_t rhs) {
+  switch (op) {
+    case CmpOp::kGE: return lhs >= rhs;
+    case CmpOp::kLT: return lhs < rhs;
+    case CmpOp::kEQ: return lhs == rhs;
+    case CmpOp::kNE: return lhs != rhs;
+  }
+  return false;
+}
+
+BcsCore::BcsCore(net::Fabric& fabric, sim::Trace* trace)
+    : fabric_(fabric), trace_(trace) {}
+
+GlobalVarId BcsCore::allocVar(std::string name, std::int64_t initial) {
+  vars_.emplace_back(static_cast<std::size_t>(numNodes()), initial);
+  var_names_.push_back(std::move(name));
+  return static_cast<GlobalVarId>(vars_.size()) - 1;
+}
+
+void BcsCore::checkVar(GlobalVarId var) const {
+  if (var < 0 || static_cast<std::size_t>(var) >= vars_.size()) {
+    throw sim::SimError("BcsCore: bad global variable id " +
+                        std::to_string(var));
+  }
+}
+
+void BcsCore::checkEvent(GlobalEventId ev) const {
+  if (ev < 0 || static_cast<std::size_t>(ev) >= events_.size()) {
+    throw sim::SimError("BcsCore: bad event id " + std::to_string(ev));
+  }
+}
+
+std::int64_t BcsCore::readVar(int node, GlobalVarId var) const {
+  checkVar(var);
+  return vars_[static_cast<std::size_t>(var)].at(static_cast<std::size_t>(node));
+}
+
+void BcsCore::writeVarLocal(int node, GlobalVarId var, std::int64_t value) {
+  checkVar(var);
+  vars_[static_cast<std::size_t>(var)].at(static_cast<std::size_t>(node)) =
+      value;
+}
+
+GlobalEventId BcsCore::allocEvent(std::string name) {
+  events_.emplace_back(static_cast<std::size_t>(numNodes()));
+  event_names_.push_back(std::move(name));
+  return static_cast<GlobalEventId>(events_.size()) - 1;
+}
+
+BcsCore::EventState& BcsCore::eventState(int node, GlobalEventId ev) {
+  checkEvent(ev);
+  return events_[static_cast<std::size_t>(ev)].at(
+      static_cast<std::size_t>(node));
+}
+
+const BcsCore::EventState& BcsCore::eventState(int node,
+                                               GlobalEventId ev) const {
+  checkEvent(ev);
+  return events_[static_cast<std::size_t>(ev)].at(
+      static_cast<std::size_t>(node));
+}
+
+void BcsCore::signalLocal(int node, GlobalEventId ev, int count) {
+  EventState& st = eventState(node, ev);
+  st.pending += count;
+  // Release waiters FIFO, one pending signal each.  Callbacks are deferred
+  // through the engine so a waiter can re-arm without re-entrancy surprises.
+  while (st.pending > 0 && !st.waiters.empty()) {
+    --st.pending;
+    std::function<void()> cb = std::move(st.waiters.front());
+    st.waiters.pop_front();
+    fabric_.engine().at(fabric_.engine().now(), std::move(cb));
+  }
+}
+
+bool BcsCore::testEvent(int node, GlobalEventId ev) const {
+  return eventState(node, ev).pending > 0;
+}
+
+int BcsCore::pendingSignals(int node, GlobalEventId ev) const {
+  return eventState(node, ev).pending;
+}
+
+void BcsCore::waitEventAsync(int node, GlobalEventId ev,
+                             std::function<void()> cb) {
+  EventState& st = eventState(node, ev);
+  if (st.pending > 0 && st.waiters.empty()) {
+    --st.pending;
+    fabric_.engine().at(fabric_.engine().now(), std::move(cb));
+    return;
+  }
+  st.waiters.push_back(std::move(cb));
+}
+
+void BcsCore::testEventBlocking(sim::Process& proc, GlobalEventId ev) {
+  waitEventAsync(proc.node(), ev, [&proc] { proc.wake(); });
+  proc.block();
+}
+
+void BcsCore::xferAndSignal(XferRequest req) {
+  if (trace_) {
+    trace_->record(fabric_.engine().now(), sim::TraceCategory::kBcsCore,
+                   req.src_node,
+                   "Xfer-And-Signal " + std::to_string(req.bytes) + "B to " +
+                       std::to_string(req.dest_nodes.size()) + " node(s)");
+  }
+  if (req.dest_nodes.empty()) {
+    throw sim::SimError("Xfer-And-Signal: empty destination set");
+  }
+
+  auto st = std::make_shared<XferRequest>(std::move(req));
+  auto per_dest = [this, st](int dest) {
+    if (st->deliver) st->deliver(dest);
+    if (st->remote_event >= 0) signalLocal(dest, st->remote_event);
+  };
+  auto all_done = [this, st] {
+    if (st->local_event >= 0) signalLocal(st->src_node, st->local_event);
+  };
+
+  if (st->dest_nodes.size() == 1) {
+    const int dest = st->dest_nodes.front();
+    fabric_.unicast(st->src_node, dest, st->bytes, [per_dest, all_done, dest] {
+      per_dest(dest);
+      all_done();
+    });
+    return;
+  }
+  fabric_.multicast(st->src_node, st->dest_nodes, st->bytes,
+                    std::move(per_dest), std::move(all_done));
+}
+
+void BcsCore::compareAndWriteAsync(CompareAndWriteRequest req,
+                                   std::function<void(bool)> on_result) {
+  checkVar(req.var);
+  if (req.do_write) checkVar(req.write_var);
+  if (req.nodes.empty()) {
+    throw sim::SimError("Compare-And-Write: empty node set");
+  }
+  if (trace_) {
+    trace_->record(fabric_.engine().now(), sim::TraceCategory::kBcsCore,
+                   req.src_node,
+                   "Compare-And-Write " + var_names_[static_cast<std::size_t>(req.var)] +
+                       " " + cmpOpName(req.op) + " " +
+                       std::to_string(req.value) + " on " +
+                       std::to_string(req.nodes.size()) + " node(s)");
+  }
+  auto st = std::make_shared<CompareAndWriteRequest>(std::move(req));
+  fabric_.conditional(
+      st->src_node, st->nodes,
+      /*eval=*/
+      [this, st](int node) { return cmpEval(st->op, readVar(node, st->var), st->value); },
+      /*write=*/
+      [this, st](int node) {
+        if (st->do_write) writeVarLocal(node, st->write_var, st->write_value);
+      },
+      std::move(on_result));
+}
+
+bool BcsCore::compareAndWriteBlocking(sim::Process& proc,
+                                      CompareAndWriteRequest req) {
+  bool result = false;
+  compareAndWriteAsync(std::move(req), [&proc, &result](bool ok) {
+    result = ok;
+    proc.wake();
+  });
+  proc.block();
+  return result;
+}
+
+}  // namespace bcs::core

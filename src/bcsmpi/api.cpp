@@ -1,0 +1,93 @@
+#include "bcsmpi/api.hpp"
+
+namespace bcs::bcsmpi {
+
+BcsApi::BcsApi(Runtime& runtime, int job, int rank, sim::Process& proc)
+    : runtime_(runtime), job_(job), rank_(rank), proc_(proc) {}
+
+int BcsApi::size() const { return runtime_.jobSize(job_); }
+
+BcsRequest BcsApi::send(const void* buf, std::size_t bytes, int dst, int tag,
+                        bool blocking) {
+  BcsRequest req{runtime_.postSend(job_, rank_, buf, bytes, dst, tag)};
+  if (blocking) {
+    runtime_.waitRequest(job_, rank_, req.id, nullptr);
+    return BcsRequest{};
+  }
+  return req;
+}
+
+BcsRequest BcsApi::recv(void* buf, std::size_t bytes, int src, int tag,
+                        bool blocking, mpi::Status* status) {
+  BcsRequest req{runtime_.postRecv(job_, rank_, buf, bytes, src, tag)};
+  if (blocking) {
+    runtime_.waitRequest(job_, rank_, req.id, status);
+    return BcsRequest{};
+  }
+  return req;
+}
+
+bool BcsApi::probe(int src, int tag, bool blocking, mpi::Status* status) {
+  return runtime_.probe(job_, rank_, src, tag, status, blocking);
+}
+
+bool BcsApi::test(BcsRequest& req, bool blocking, mpi::Status* status) {
+  if (req.null()) return true;
+  if (blocking) {
+    // MPI_Wait on a non-blocking request busy-polls the completion flag in
+    // NIC memory and continues immediately (Figure 2(b)) — unlike the
+    // blocking primitives, which deschedule until a slice boundary.
+    runtime_.waitRequest(job_, rank_, req.id, status, /*spin=*/true);
+    req = BcsRequest{};
+    return true;
+  }
+  if (runtime_.testRequest(job_, rank_, req.id, status)) {
+    req = BcsRequest{};
+    return true;
+  }
+  return false;
+}
+
+bool BcsApi::peek(const BcsRequest& req) const {
+  if (req.null()) return true;
+  return runtime_.peekRequest(job_, rank_, req.id);
+}
+
+bool BcsApi::testall(std::span<BcsRequest> reqs, bool blocking) {
+  if (blocking) {
+    for (BcsRequest& r : reqs) test(r, /*blocking=*/true);
+    return true;
+  }
+  // Non-blocking: all-or-nothing (MPI_Testall semantics).
+  for (const BcsRequest& r : reqs) {
+    if (!peek(r)) return false;
+  }
+  for (BcsRequest& r : reqs) test(r, /*blocking=*/false);
+  return true;
+}
+
+void BcsApi::barrier() {
+  const std::uint64_t req = runtime_.postCollective(
+      job_, rank_, CollectiveType::kBarrier, /*root=*/0, nullptr, nullptr, 0,
+      mpi::Datatype::kByte, mpi::ReduceOp::kSum);
+  runtime_.waitRequest(job_, rank_, req, nullptr);
+}
+
+void BcsApi::bcast(void* buf, std::size_t bytes, int root) {
+  const std::uint64_t req = runtime_.postCollective(
+      job_, rank_, CollectiveType::kBcast, root, buf, buf, bytes,
+      mpi::Datatype::kByte, mpi::ReduceOp::kSum);
+  runtime_.waitRequest(job_, rank_, req, nullptr);
+}
+
+void BcsApi::reduce(bool all, const void* contrib, void* result,
+                    std::size_t count, mpi::Datatype dt, mpi::ReduceOp op,
+                    int root) {
+  const std::uint64_t req = runtime_.postCollective(
+      job_, rank_,
+      all ? CollectiveType::kAllreduce : CollectiveType::kReduce, root,
+      contrib, result, count, dt, op);
+  runtime_.waitRequest(job_, rank_, req, nullptr);
+}
+
+}  // namespace bcs::bcsmpi

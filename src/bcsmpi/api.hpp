@@ -1,0 +1,91 @@
+#pragma once
+
+// The BCS API (paper Appendix A, Figure 12).
+//
+// This is the layer between the BCS-MPI library and the runtime system:
+// point-to-point primitives and the three basic collectives (barrier,
+// broadcast, reduce) are implemented *in the NIC* (descriptors + globally
+// scheduled microphases, src/bcsmpi/runtime.*), while the remaining
+// collectives (scatter/gather/allgather/alltoall, vectorial and not) are
+// built on top of these — in this codebase through the shared
+// mpi::Comm composition layer used by BcsComm.
+//
+//   BCS primitive     | here
+//   ------------------+------------------------------------------
+//   bcs_send()        | send(blocking flag)
+//   bcs_recv()        | recv(blocking flag)
+//   bcs_probe()       | probe(blocking flag)
+//   bcs_test()        | test(blocking flag)
+//   bcs_testall()     | testall(blocking flag)
+//   bcs_barrier()     | barrier()
+//   bcs_bcast()       | bcast()
+//   bcs_reduce()      | reduce(all flag)
+//
+// One BcsApi instance belongs to one application process (job, rank); its
+// methods must be called from that process's fiber.
+
+#include <cstddef>
+#include <span>
+
+#include "bcsmpi/runtime.hpp"
+#include "mpi/types.hpp"
+
+namespace bcs::bcsmpi {
+
+/// Request handle returned by the non-blocking flavours (BCS_Request in
+/// Figure 13).
+struct BcsRequest {
+  std::uint64_t id = 0;
+  bool null() const { return id == 0; }
+};
+
+class BcsApi {
+ public:
+  BcsApi(Runtime& runtime, int job, int rank, sim::Process& proc);
+
+  int rank() const { return rank_; }
+  int size() const;
+  sim::Process& process() { return proc_; }
+  Runtime& runtime() { return runtime_; }
+
+  /// Posts a send descriptor to the Buffer Sender.  If `blocking`, suspends
+  /// until the message has been transferred (the process is restarted at a
+  /// slice boundary); otherwise returns a request to bcs_test() later.
+  BcsRequest send(const void* buf, std::size_t bytes, int dst, int tag,
+                  bool blocking);
+
+  /// Posts a receive descriptor to the Buffer Receiver.
+  BcsRequest recv(void* buf, std::size_t bytes, int src, int tag,
+                  bool blocking, mpi::Status* status = nullptr);
+
+  /// Tests for a matching incoming message (send descriptor already
+  /// exchanged to this node).
+  bool probe(int src, int tag, bool blocking, mpi::Status* status);
+
+  /// Tests/waits for completion of one request.  Returns false only for a
+  /// non-blocking test that found the request incomplete.  On success the
+  /// request is released.
+  bool test(BcsRequest& req, bool blocking, mpi::Status* status = nullptr);
+
+  /// Tests/waits for completion of several requests (all-or-nothing for the
+  /// non-blocking flavour, like MPI_Testall).
+  bool testall(std::span<BcsRequest> reqs, bool blocking);
+
+  /// Non-consuming completion peek (the raw Test-Event on the request's
+  /// completion flag in NIC memory).
+  bool peek(const BcsRequest& req) const;
+
+  /// NIC-level collectives (executed by the CH / RH threads).
+  void barrier();
+  void bcast(void* buf, std::size_t bytes, int root);
+  void reduce(bool all, const void* contrib, void* result, std::size_t count,
+              mpi::Datatype dt, mpi::ReduceOp op, int root);
+
+ private:
+  Runtime& runtime_;
+  int job_;
+  int rank_;
+  sim::Process& proc_;
+};
+
+}  // namespace bcs::bcsmpi

@@ -1,0 +1,112 @@
+#include "bcsmpi/comm.hpp"
+
+#include <string>
+#include <utility>
+
+namespace bcs::bcsmpi {
+
+BcsComm::BcsComm(std::unique_ptr<BcsApi> api) : api_(std::move(api)) {}
+
+sim::SimTime BcsComm::now() const { return api_->process().now(); }
+
+void BcsComm::compute(Duration work) { api_->process().compute(work); }
+
+mpi::Request BcsComm::isend(const void* buf, std::size_t bytes, int dest,
+                            int tag) {
+  return mpi::Request{api_->send(buf, bytes, dest, tag, /*blocking=*/false).id};
+}
+
+mpi::Request BcsComm::irecv(void* buf, std::size_t bytes, int src, int tag) {
+  return mpi::Request{
+      api_->recv(buf, bytes, src, tag, /*blocking=*/false).id};
+}
+
+void BcsComm::send(const void* buf, std::size_t bytes, int dest, int tag) {
+  api_->send(buf, bytes, dest, tag, /*blocking=*/true);
+}
+
+void BcsComm::recv(void* buf, std::size_t bytes, int src, int tag,
+                   mpi::Status* status) {
+  api_->recv(buf, bytes, src, tag, /*blocking=*/true, status);
+}
+
+void BcsComm::wait(mpi::Request& r, mpi::Status* status) {
+  BcsRequest br{r.id};
+  api_->test(br, /*blocking=*/true, status);
+  r = mpi::Request{};
+}
+
+bool BcsComm::test(mpi::Request& r, mpi::Status* status) {
+  BcsRequest br{r.id};
+  if (api_->test(br, /*blocking=*/false, status)) {
+    r = mpi::Request{};
+    return true;
+  }
+  return false;
+}
+
+bool BcsComm::completed(const mpi::Request& r) const {
+  if (r.null()) return true;
+  return api_->peek(BcsRequest{r.id});
+}
+
+bool BcsComm::probe(int src, int tag, mpi::Status* status, bool blocking) {
+  return api_->probe(src, tag, blocking, status);
+}
+
+void BcsComm::barrier() { api_->barrier(); }
+
+void BcsComm::bcast(void* buf, std::size_t bytes, int root) {
+  api_->bcast(buf, bytes, root);
+}
+
+void BcsComm::reduce(const void* contrib, void* result, std::size_t count,
+                     mpi::Datatype dt, mpi::ReduceOp op, int root) {
+  api_->reduce(/*all=*/false, contrib, result, count, dt, op, root);
+}
+
+void BcsComm::allreduce(const void* contrib, void* result, std::size_t count,
+                        mpi::Datatype dt, mpi::ReduceOp op) {
+  api_->reduce(/*all=*/true, contrib, result, count, dt, op, /*root=*/0);
+}
+
+void launchJob(Runtime& runtime, const std::vector<int>& node_of_rank,
+               const std::function<void(mpi::Comm&)>& body,
+               std::vector<sim::SimTime>* finish_times) {
+  const int job = runtime.createJob(node_of_rank);
+  const int nprocs = static_cast<int>(node_of_rank.size());
+  if (finish_times) finish_times->assign(static_cast<std::size_t>(nprocs), 0);
+  for (int r = 0; r < nprocs; ++r) {
+    runtime.cluster().spawn(
+        node_of_rank[static_cast<std::size_t>(r)],
+        "bcsmpi-j" + std::to_string(job) + "-rank" + std::to_string(r),
+        [&runtime, job, r, body, finish_times](sim::Process& proc) {
+          runtime.registerProcess(job, r, proc);
+          BcsComm comm(std::make_unique<BcsApi>(runtime, job, r, proc));
+          body(comm);
+          runtime.rankFinished(job, r);
+          if (finish_times) {
+            (*finish_times)[static_cast<std::size_t>(r)] = proc.now();
+          }
+        });
+  }
+}
+
+void runJob(net::Cluster& cluster, BcsMpiConfig config,
+            const std::vector<int>& node_of_rank,
+            const std::function<void(mpi::Comm&)>& body,
+            std::vector<sim::SimTime>* finish_times) {
+  auto runtime = std::make_shared<Runtime>(cluster, config);
+  // Keep the runtime alive for the duration of the run via the body
+  // closures.
+  launchJob(*runtime,node_of_rank,
+            [runtime, body](mpi::Comm& c) { body(c); }, finish_times);
+  cluster.run();
+  if (!cluster.allProcessesFinished()) {
+    std::string who;
+    for (const auto& n : cluster.unfinishedProcesses()) who += " " + n;
+    throw sim::SimError("bcsmpi::runJob deadlock; unfinished:" + who);
+  }
+}
+
+}  // namespace bcs::bcsmpi

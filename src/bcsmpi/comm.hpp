@@ -1,0 +1,77 @@
+#pragma once
+
+// BCS-MPI's MPI facade: the Figure 13 mapping of MPI primitives onto the
+// BCS API.
+//
+//   MPI_Send        -> bcs_send(blocking)        BcsApi::send(.., true)
+//   MPI_Isend       -> bcs_send(non-blocking)    BcsApi::send(.., false)
+//   MPI_Recv        -> bcs_recv(blocking)        BcsApi::recv(.., true)
+//   MPI_Irecv       -> bcs_recv(non-blocking)    BcsApi::recv(.., false)
+//   MPI_Probe/Iprobe-> bcs_probe(...)            BcsApi::probe
+//   MPI_Wait/Test   -> bcs_test(...)             BcsApi::test
+//   MPI_Waitall/Testall -> bcs_testall(...)      BcsApi::testall
+//   MPI_Barrier     -> bcs_barrier()             BcsApi::barrier
+//   MPI_Bcast       -> bcs_bcast()               BcsApi::bcast
+//   MPI_Reduce      -> bcs_reduce(non-all)       BcsApi::reduce(false, ..)
+//   MPI_Allreduce   -> bcs_reduce(all)           BcsApi::reduce(true, ..)
+//   MPI_Scatter(v)/Gather(v)/Allgather(v)/Alltoall(v)
+//                   -> built on top (mpi::Comm composition layer)
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bcsmpi/api.hpp"
+#include "mpi/comm.hpp"
+
+namespace bcs::bcsmpi {
+
+class BcsComm final : public mpi::Comm {
+ public:
+  explicit BcsComm(std::unique_ptr<BcsApi> api);
+
+  int rank() const override { return api_->rank(); }
+  int size() const override { return api_->size(); }
+  SimTime now() const override;
+  void compute(Duration work) override;
+
+  mpi::Request isend(const void* buf, std::size_t bytes, int dest,
+                     int tag) override;
+  mpi::Request irecv(void* buf, std::size_t bytes, int src, int tag) override;
+  void send(const void* buf, std::size_t bytes, int dest, int tag) override;
+  void recv(void* buf, std::size_t bytes, int src, int tag,
+            mpi::Status* status) override;
+  void wait(mpi::Request& r, mpi::Status* status) override;
+  bool test(mpi::Request& r, mpi::Status* status) override;
+  bool completed(const mpi::Request& r) const override;
+  bool probe(int src, int tag, mpi::Status* status, bool blocking) override;
+
+  void barrier() override;
+  void bcast(void* buf, std::size_t bytes, int root) override;
+  void reduce(const void* contrib, void* result, std::size_t count,
+              mpi::Datatype dt, mpi::ReduceOp op, int root) override;
+  void allreduce(const void* contrib, void* result, std::size_t count,
+                 mpi::Datatype dt, mpi::ReduceOp op) override;
+
+  BcsApi& api() { return *api_; }
+
+ private:
+  std::unique_ptr<BcsApi> api_;
+};
+
+/// Launches an SPMD job on an existing runtime (used when several jobs
+/// share the machine, e.g. under gang scheduling).  `finish_times`, if
+/// non-null, receives each rank's completion time.
+void launchJob(Runtime& runtime, const std::vector<int>& node_of_rank,
+               const std::function<void(mpi::Comm&)>& body,
+               std::vector<sim::SimTime>* finish_times = nullptr);
+
+/// Convenience single-job runner mirroring baseline::runJob: builds a
+/// Runtime, launches the job, runs the cluster to completion and verifies
+/// that every rank finished.
+void runJob(net::Cluster& cluster, BcsMpiConfig config,
+            const std::vector<int>& node_of_rank,
+            const std::function<void(mpi::Comm&)>& body,
+            std::vector<sim::SimTime>* finish_times = nullptr);
+
+}  // namespace bcs::bcsmpi

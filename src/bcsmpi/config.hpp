@@ -1,0 +1,72 @@
+#pragma once
+
+// Tunables of the BCS-MPI runtime (paper §4, §5.1).
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace bcs::bcsmpi {
+
+using sim::Duration;
+
+struct BcsMpiConfig {
+  /// Length of the global time slice.  The paper uses 500 us everywhere
+  /// (§5.1); bench_ablation_timeslice sweeps this.
+  Duration time_slice = sim::usec(500);
+
+  /// Minimum durations of the two global-message-scheduling microphases.
+  /// "In the current implementation, these two phases take approximately
+  /// 125 us" (§4.3) — the floors model the fixed cost of strobing, FIFO
+  /// draining and queue walks even on idle slices.
+  Duration dem_floor = sim::usec(60);
+  Duration msm_floor = sim::usec(65);
+
+  /// How often the Strobe Sender re-issues its Compare-And-Write when
+  /// polling for microphase completion.
+  Duration strobe_poll_interval = sim::usec(5);
+
+  /// The BS/BR drain their shared-memory descriptor FIFOs this long after
+  /// the DEM strobe arrives; descriptors posted inside the window (e.g. by
+  /// a process the NM just restarted at the slice boundary) are still
+  /// scheduled in the current slice, exactly like a FIFO read in the real
+  /// NIC thread.  Must stay below dem_floor.
+  Duration dem_drain_window = sim::usec(20);
+
+  /// Cost for an application process to post a descriptor into the NIC
+  /// shared-memory FIFO (no system call, §4.5).
+  Duration post_overhead = sim::usec(0.6);
+
+  /// Wire size of one communication descriptor.
+  std::size_t descriptor_bytes = 128;
+
+  /// NIC-thread processing cost per descriptor (BS dispatch / BR intake).
+  Duration nic_desc_processing = sim::usec(0.3);
+
+  /// BR cost to match one send/receive descriptor pair and build the
+  /// matching descriptor.
+  Duration nic_match_cost = sim::usec(0.8);
+
+  /// Largest chunk of one message transferred in a single time slice; the
+  /// BR splits bigger messages across consecutive slices (§4.3).
+  std::size_t chunk_bytes = 64 * 1024;
+
+  /// Per-node byte budget the BR may schedule into one point-to-point
+  /// microphase (roughly bandwidth * transmission-phase length).
+  std::size_t slice_byte_budget = 80 * 1024;
+
+  /// Per-element cost of the Reduce Helper's softfloat arithmetic on the
+  /// FPU-less NIC processor (§4.4).
+  Duration nic_reduce_per_element = sim::usec(0.8);
+
+  /// Bring-up cost of the BCS-MPI runtime system (NIC thread forking, NIC
+  /// memory setup, STORM handshakes).  The paper's IS discussion (§5.3)
+  /// attributes IS's ~10% slowdown on a ~12 s run largely to this.
+  Duration runtime_init_overhead = sim::msec(800);
+
+  /// Round-robin gang scheduling of multiple jobs at slice granularity
+  /// (§5.4, first mitigation option).
+  bool gang_scheduling = false;
+};
+
+}  // namespace bcs::bcsmpi

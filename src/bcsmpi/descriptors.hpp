@@ -1,0 +1,81 @@
+#pragma once
+
+// Communication descriptors (paper §3, §4.3, §4.4).
+//
+// When an application process invokes a communication primitive it does not
+// touch the network: it posts one of these records into a NIC-memory FIFO
+// and (if the call is blocking) suspends.  Everything else happens inside
+// the NIC threads during the globally scheduled microphases.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::bcsmpi {
+
+/// Posted to the Buffer Sender by MPI_Send / MPI_Isend.
+struct SendDescriptor {
+  int job = 0;
+  int src_rank = 0;
+  int dst_rank = 0;
+  int tag = 0;
+  const std::byte* data = nullptr;  ///< application buffer (zero-copy get)
+  std::size_t bytes = 0;
+  std::uint64_t request = 0;        ///< completion handle at the source rank
+  sim::SimTime posted_at = 0;
+  std::uint64_t seq = 0;            ///< global posting order (FIFO tiebreak)
+};
+
+/// Posted to the Buffer Receiver by MPI_Recv / MPI_Irecv.
+struct RecvDescriptor {
+  int job = 0;
+  int dst_rank = 0;
+  int want_src = mpi::kAnySource;
+  int want_tag = mpi::kAnyTag;
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;            ///< capacity of the posted buffer
+  std::uint64_t request = 0;
+  sim::SimTime posted_at = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Built by the BR in the Message Scheduling Microphase for every matched
+/// send/receive pair; consumed by the DMA Helper.  Chunking state lives
+/// here: `offset` advances slice by slice until the whole payload moved.
+struct MatchDescriptor {
+  SendDescriptor send;
+  RecvDescriptor recv;
+  std::size_t offset = 0;
+};
+
+enum class CollectiveType : std::uint8_t {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+};
+
+const char* collectiveTypeName(CollectiveType t);
+
+/// Posted by every rank entering a collective call.  The BR pre-processes
+/// these: once all local ranks of the job posted generation `gen`, the
+/// node's per-job flag variable is set and only the job master's descriptor
+/// survives to the scheduling step (§4.4).
+struct CollectiveDescriptor {
+  int job = 0;
+  int rank = 0;
+  CollectiveType type = CollectiveType::kBarrier;
+  int gen = 0;   ///< per-job collective sequence number
+  int root = 0;  ///< meaningful for bcast/reduce
+  const std::byte* contrib = nullptr;  ///< send side (bcast@root / reduce)
+  std::byte* result = nullptr;         ///< recv side
+  std::size_t count = 0;
+  mpi::Datatype dt = mpi::Datatype::kByte;
+  mpi::ReduceOp op = mpi::ReduceOp::kSum;
+  std::uint64_t request = 0;
+  sim::SimTime posted_at = 0;
+};
+
+}  // namespace bcs::bcsmpi

@@ -1,0 +1,347 @@
+// DEM / MSM / P2P microphase implementations: the Buffer Sender, Buffer
+// Receiver and DMA Helper NIC threads, plus the Node Manager's
+// slice-boundary process wakeups (paper §4.2-§4.3, Figure 6).
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "bcsmpi/runtime.hpp"
+
+namespace bcs::bcsmpi {
+
+void Runtime::wakeAtSliceStart(int node) {
+  NodeState& ns = nodeState(node);
+  // Blocked processes whose operations completed during the previous slice
+  // are restarted at the beginning of this one (Figure 2, step 5).
+  for (const auto& [job, rank] : ns.wake_list) {
+    RankState& rs = rankState(job, rank);
+    if (rs.proc) rs.proc->wake();
+  }
+  ns.wake_list.clear();
+  for (const auto& [job, rank] : ns.probe_waiters) {
+    RankState& rs = rankState(job, rank);
+    if (rs.proc) rs.proc->wake();
+  }
+  ns.probe_waiters.clear();
+
+  // Gang scheduling (NM duty): one job owns the CPUs per slice, round-robin
+  // over unfinished jobs (§5.4, option 1).
+  if (config_.gang_scheduling && jobs_.size() > 1) {
+    std::vector<int> runnable;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (jobs_[j].finished < static_cast<int>(jobs_[j].ranks.size())) {
+        runnable.push_back(static_cast<int>(j));
+      }
+    }
+    if (!runnable.empty()) {
+      int scheduled =
+          runnable[static_cast<std::size_t>(slice_index_ % runnable.size())];
+      // Backfill (§5.4): if the slice's job has nothing runnable on this
+      // node — every local process is blocked on communication — hand the
+      // CPUs to a job that can use them instead of idling the slice.
+      auto locally_runnable = [&](int j) {
+        for (RankState& rs : jobs_[static_cast<std::size_t>(j)].ranks) {
+          if (rs.node == node && rs.proc != nullptr && !rs.finished &&
+              (rs.proc->computing() || !rs.proc->blocked())) {
+            return true;
+          }
+        }
+        return false;
+      };
+      if (!locally_runnable(scheduled)) {
+        for (std::size_t k = 0; k < runnable.size(); ++k) {
+          const int candidate = runnable[static_cast<std::size_t>(
+              (slice_index_ + 1 + k) % runnable.size())];
+          if (locally_runnable(candidate)) {
+            scheduled = candidate;
+            break;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        for (RankState& rs : jobs_[j].ranks) {
+          if (rs.node != node || rs.proc == nullptr || rs.finished) continue;
+          rs.proc->setComputeFrozen(static_cast<int>(j) != scheduled);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DEM — Descriptor Exchange Microphase
+// ---------------------------------------------------------------------------
+
+void Runtime::runDem(int node, std::uint64_t seq) {
+  beginNodePhase(node, seq, config_.dem_floor, 0);
+  wakeAtSliceStart(node);
+  // The BS/BR read their descriptor FIFOs a small window after the strobe,
+  // so a process the NM restarted at this very boundary can still slip its
+  // next descriptor into the current slice (FIFO-read semantics of the real
+  // NIC threads).
+  opStarted(node);
+  cluster_.engine().after(config_.dem_drain_window, [this, node] {
+    drainDescriptorFifos(node);
+    opFinished(node);
+  });
+}
+
+void Runtime::drainDescriptorFifos(int node) {
+  NodeState& ns = nodeState(node);
+  std::vector<SendDescriptor> to_exchange;
+  while (!ns.bs_fresh.empty()) {
+    to_exchange.push_back(ns.bs_fresh.front());
+    ns.bs_fresh.pop_front();
+  }
+  while (!ns.recv_fresh.empty()) {
+    ns.recv_eligible.push_back(ns.recv_fresh.front());
+    ns.recv_fresh.pop_front();
+  }
+  const int coll_processed = preprocessCollectivesCount(node);
+
+  // NIC-thread processing time for the drained batch.
+  const Duration work =
+      static_cast<Duration>(to_exchange.size() + coll_processed) *
+      config_.nic_desc_processing;
+  if (work > 0) {
+    opStarted(node);
+    cluster_.engine().after(work, [this, node] { opFinished(node); });
+  }
+
+  // BS: deliver each send descriptor to the destination node's BR.  The
+  // phase completes when every descriptor has landed (tracked through the
+  // per-op tokens; the transfer itself is one Xfer-And-Signal).
+  for (const SendDescriptor& d : to_exchange) {
+    opStarted(node);
+    ++stats_.descriptors_exchanged;
+    const int dst_node = nodeOfRank(d.job, d.dst_rank);
+    core::XferRequest xfer;
+    xfer.src_node = node;
+    xfer.dest_nodes = {dst_node};
+    xfer.bytes = config_.descriptor_bytes;
+    xfer.deliver = [this, node, dst_node, d](int) {
+      nodeState(dst_node).remote_sends.push_back(d);
+      if (trace_) {
+        trace_->record(cluster_.engine().now(),
+                       sim::TraceCategory::kDescriptor, dst_node,
+                       "send desc from rank " + std::to_string(d.src_rank) +
+                           " tag " + std::to_string(d.tag) + " (" +
+                           std::to_string(d.bytes) + "B)");
+      }
+      opFinished(node);
+    };
+    core_.xferAndSignal(std::move(xfer));
+  }
+}
+
+int Runtime::preprocessCollectivesCount(int node) {
+  // BR pre-processing (§4.4): group collective descriptors by job; once all
+  // local ranks of a job posted the same generation, publish the node's
+  // per-job flag (a local write to a global variable) and keep only the
+  // bookkeeping needed to finish the operation locally.
+  NodeState& ns = nodeState(node);
+  int processed = 0;
+  while (!ns.coll_fresh.empty()) {
+    CollectiveDescriptor d = ns.coll_fresh.front();
+    ns.coll_fresh.pop_front();
+    ++processed;
+
+    PendingCollective& pc = ns.pending_coll[d.job];
+    if (!pc.active) {
+      pc.active = true;
+      pc.type = d.type;
+      pc.gen = d.gen;
+      pc.root = d.root;
+      pc.count = d.count;
+      pc.dt = d.dt;
+      pc.op = d.op;
+      pc.flagged = false;
+      pc.caw_inflight = false;
+      pc.executing = false;
+      pc.children_left = 0;
+      pc.local.clear();
+    }
+    if (pc.gen != d.gen || pc.type != d.type) {
+      throw sim::SimError(
+          "collective mismatch: ranks of job " + std::to_string(d.job) +
+          " disagree on operation (gen " + std::to_string(pc.gen) + " vs " +
+          std::to_string(d.gen) + ")");
+    }
+    pc.local.push_back(d);
+
+    // Count the job's ranks living on this node.
+    const JobState& js = jobState(d.job);
+    int local_ranks = 0;
+    for (int n : js.node_of_rank) {
+      if (n == node) ++local_ranks;
+    }
+    if (static_cast<int>(pc.local.size()) == local_ranks) {
+      pc.flagged = true;
+      core_.writeVarLocal(node, js.coll_flag, pc.gen);
+      if (trace_) {
+        trace_->record(cluster_.engine().now(),
+                       sim::TraceCategory::kCollective, node,
+                       std::string("flag set: ") + collectiveTypeName(pc.type) +
+                           " gen " + std::to_string(pc.gen));
+      }
+    }
+  }
+  return processed;
+}
+
+// ---------------------------------------------------------------------------
+// MSM — Message Scheduling Microphase
+// ---------------------------------------------------------------------------
+
+void Runtime::runMsm(int node, std::uint64_t seq) {
+  Duration match_cost = 0;
+  matchDescriptors(node, match_cost);
+  scheduleChunks(node);
+  beginNodePhase(node, seq, config_.msm_floor, match_cost);
+  scheduleCollectiveQueries(node);
+}
+
+void Runtime::matchDescriptors(int node, Duration& cost) {
+  NodeState& ns = nodeState(node);
+  // For each posted receive (in post order) find the first matching remote
+  // send descriptor (in arrival order) — FIFO matching preserves MPI's
+  // non-overtaking guarantee per (source, tag).
+  for (auto rit = ns.recv_eligible.begin(); rit != ns.recv_eligible.end();) {
+    auto sit = std::find_if(
+        ns.remote_sends.begin(), ns.remote_sends.end(),
+        [&](const SendDescriptor& s) { return matches(*rit, s); });
+    if (sit == ns.remote_sends.end()) {
+      ++rit;
+      continue;
+    }
+    if (sit->bytes > rit->bytes) {
+      throw sim::SimError("recv truncation: rank " +
+                          std::to_string(rit->dst_rank) + " posted " +
+                          std::to_string(rit->bytes) + "B for a " +
+                          std::to_string(sit->bytes) + "B message");
+    }
+    cost += config_.nic_match_cost;
+    ++stats_.matches;
+    MatchDescriptor m;
+    m.send = *sit;
+    m.recv = *rit;
+    ns.match_queue.push_back(std::move(m));
+    ns.remote_sends.erase(sit);
+    rit = ns.recv_eligible.erase(rit);
+  }
+}
+
+void Runtime::scheduleChunks(int node) {
+  NodeState& ns = nodeState(node);
+  std::size_t budget = config_.slice_byte_budget;
+  // One chunk per message per slice (§4.3): the first chunk this slice,
+  // the remainder in the following slices.  Transfers already in progress
+  // sit at the queue front and therefore keep their priority.
+  for (auto it = ns.match_queue.begin();
+       it != ns.match_queue.end() && budget > 0;) {
+    MatchDescriptor& m = *it;
+    const std::size_t remaining = m.send.bytes - m.offset;
+    const std::size_t sched =
+        std::min({remaining, config_.chunk_bytes, budget});
+    if (sched == 0 && remaining > 0) break;  // budget exhausted
+
+    GetOp op;
+    op.src_node = nodeOfRank(m.send.job, m.send.src_rank);
+    op.src = m.send.data + m.offset;
+    op.dst = m.recv.data + m.offset;
+    op.bytes = sched;
+    op.final_chunk = (m.offset + sched == m.send.bytes);
+    op.job = m.send.job;
+    op.src_rank = m.send.src_rank;
+    op.dst_rank = m.recv.dst_rank;
+    op.tag = m.send.tag;
+    op.message_bytes = m.send.bytes;
+    op.send_req = m.send.request;
+    op.recv_req = m.recv.request;
+    ns.slice_gets.push_back(op);
+
+    budget -= sched;
+    m.offset += sched;
+    if (m.offset == m.send.bytes) {
+      it = ns.match_queue.erase(it);
+    } else {
+      ++it;  // one chunk per slice: move on to the next message
+    }
+  }
+}
+
+void Runtime::scheduleCollectiveQueries(int node) {
+  NodeState& ns = nodeState(node);
+  for (auto& [job, pc] : ns.pending_coll) {
+    if (!pc.active || !pc.flagged || pc.caw_inflight || pc.executing) continue;
+    JobState& js = jobState(job);
+    // Only the job master's node runs the scheduling query (§4.4: all other
+    // collective descriptors were discarded at pre-processing).
+    if (node != js.node_of_rank[0]) continue;
+    if (core_.readVar(node, js.coll_sched) >= pc.gen) continue;  // scheduled
+    pc.caw_inflight = true;
+    opStarted(node);
+    core::CompareAndWriteRequest req;
+    req.src_node = node;
+    req.nodes = js.nodes;
+    req.var = js.coll_flag;
+    req.op = core::CmpOp::kGE;
+    req.value = pc.gen;
+    req.do_write = true;
+    req.write_var = js.coll_sched;
+    req.write_value = pc.gen;
+    const int job_id = job;
+    core_.compareAndWriteAsync(std::move(req), [this, node, job_id](bool ok) {
+      NodeState& my = nodeState(node);
+      auto it = my.pending_coll.find(job_id);
+      if (it != my.pending_coll.end()) it->second.caw_inflight = false;
+      if (ok) ++stats_.collectives_scheduled;
+      opFinished(node);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P2P — Point-to-point Microphase (DMA Helper)
+// ---------------------------------------------------------------------------
+
+void Runtime::runP2p(int node, std::uint64_t seq) {
+  NodeState& ns = nodeState(node);
+  std::vector<GetOp> gets;
+  gets.swap(ns.slice_gets);
+  beginNodePhase(node, seq, 0,
+                 static_cast<Duration>(gets.size()) *
+                     config_.nic_desc_processing);
+  for (const GetOp& op : gets) {
+    opStarted(node);
+    ++stats_.chunks_transferred;
+    // The DH reads directly from the source process's memory — a one-sided
+    // get, no intervention from either application process (Figure 6,
+    // step 9).
+    core::XferRequest xfer;
+    xfer.src_node = op.src_node;
+    xfer.dest_nodes = {node};
+    xfer.bytes = op.bytes;
+    xfer.deliver = [this, node, op](int) {
+      std::memcpy(op.dst, op.src, op.bytes);
+      if (trace_) {
+        trace_->record(cluster_.engine().now(), sim::TraceCategory::kDma,
+                       node,
+                       "get " + std::to_string(op.bytes) + "B from rank " +
+                           std::to_string(op.src_rank) +
+                           (op.final_chunk ? " (final)" : ""));
+      }
+      if (op.final_chunk) {
+        completeRequest(op.job, op.dst_rank, op.recv_req, op.src_rank, op.tag,
+                        op.message_bytes);
+        completeRequest(op.job, op.src_rank, op.send_req, op.dst_rank, op.tag,
+                        op.message_bytes);
+      }
+      opFinished(node);
+    };
+    core_.xferAndSignal(std::move(xfer));
+  }
+}
+
+}  // namespace bcs::bcsmpi

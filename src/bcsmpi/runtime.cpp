@@ -1,0 +1,471 @@
+#include "bcsmpi/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace bcs::bcsmpi {
+
+const char* phaseName(Phase p) {
+  switch (p) {
+    case Phase::kDem: return "DEM";
+    case Phase::kMsm: return "MSM";
+    case Phase::kP2p: return "P2P";
+    case Phase::kBbm: return "BBM";
+    case Phase::kRm: return "RM";
+  }
+  return "?";
+}
+
+const char* collectiveTypeName(CollectiveType t) {
+  switch (t) {
+    case CollectiveType::kBarrier: return "barrier";
+    case CollectiveType::kBcast: return "bcast";
+    case CollectiveType::kReduce: return "reduce";
+    case CollectiveType::kAllreduce: return "allreduce";
+  }
+  return "?";
+}
+
+Runtime::Runtime(net::Cluster& cluster, BcsMpiConfig config)
+    : cluster_(cluster),
+      config_(config),
+      core_(cluster.fabric(), &cluster.trace()),
+      trace_(&cluster.trace()),
+      nodes_(static_cast<std::size_t>(cluster.numComputeNodes())) {
+  for (int n = 0; n < cluster.numComputeNodes(); ++n) {
+    all_compute_nodes_.push_back(n);
+  }
+  phase_done_var_ = core_.allocVar("phase_done", 0);
+  strobe_event_ = core_.allocEvent("microstrobe");
+  coll_done_event_ = core_.allocEvent("collective-done");
+}
+
+// ---------------------------------------------------------------------------
+// Job management
+// ---------------------------------------------------------------------------
+
+int Runtime::createJob(std::vector<int> node_of_rank) {
+  JobState js;
+  js.node_of_rank = std::move(node_of_rank);
+  js.nodes = js.node_of_rank;
+  std::sort(js.nodes.begin(), js.nodes.end());
+  js.nodes.erase(std::unique(js.nodes.begin(), js.nodes.end()),
+                 js.nodes.end());
+  for (int n : js.nodes) {
+    if (n < 0 || n >= cluster_.numComputeNodes()) {
+      throw sim::SimError("createJob: bad node " + std::to_string(n));
+    }
+  }
+  js.ranks.resize(js.node_of_rank.size());
+  for (std::size_t r = 0; r < js.ranks.size(); ++r) {
+    js.ranks[r].node = js.node_of_rank[r];
+  }
+  const int id = static_cast<int>(jobs_.size());
+  js.coll_flag = core_.allocVar("coll_flag_j" + std::to_string(id), -1);
+  js.coll_sched = core_.allocVar("coll_sched_j" + std::to_string(id), -1);
+  jobs_.push_back(std::move(js));
+  return id;
+}
+
+void Runtime::registerProcess(int job, int rank, sim::Process& proc) {
+  JobState& js = jobState(job);
+  RankState& rs = rankState(job, rank);
+  if (rs.proc != nullptr) {
+    throw sim::SimError("registerProcess: duplicate registration");
+  }
+  rs.proc = &proc;
+  ++js.registered;
+  ++active_ranks_;
+  // Runtime bring-up: NIC thread forking, NIC memory setup, STORM
+  // handshakes.  Charged once per process, like MPI_Init.
+  proc.compute(config_.runtime_init_overhead);
+  if (!strobing_) {
+    strobing_ = true;
+    slice_start_ = proc.now();
+    cluster_.engine().at(slice_start_, [this] { startSlice(); });
+  }
+}
+
+void Runtime::rankFinished(int job, int rank) {
+  JobState& js = jobState(job);
+  RankState& rs = rankState(job, rank);
+  if (rs.finished) return;
+  rs.finished = true;
+  ++js.finished;
+  --active_ranks_;
+}
+
+int Runtime::jobSize(int job) const {
+  return static_cast<int>(jobs_.at(static_cast<std::size_t>(job))
+                              .node_of_rank.size());
+}
+
+int Runtime::nodeOfRank(int job, int rank) const {
+  return jobs_.at(static_cast<std::size_t>(job))
+      .node_of_rank.at(static_cast<std::size_t>(rank));
+}
+
+Runtime::RankState& Runtime::rankState(int job, int rank) {
+  return jobState(job).ranks.at(static_cast<std::size_t>(rank));
+}
+
+Runtime::JobState& Runtime::jobState(int job) {
+  return jobs_.at(static_cast<std::size_t>(job));
+}
+
+Runtime::NodeState& Runtime::nodeState(int node) {
+  return nodes_.at(static_cast<std::size_t>(node));
+}
+
+// ---------------------------------------------------------------------------
+// Application-facing operations
+// ---------------------------------------------------------------------------
+
+std::uint64_t Runtime::postSend(int job, int rank, const void* buf,
+                                std::size_t bytes, int dst, int tag) {
+  if (dst < 0 || dst >= jobSize(job)) {
+    throw sim::SimError("postSend: bad destination rank " +
+                        std::to_string(dst));
+  }
+  RankState& rs = rankState(job, rank);
+  rs.proc->compute(config_.post_overhead);
+  const std::uint64_t req = rs.next_req++;
+  rs.requests.emplace(req, ReqInfo{});
+
+  SendDescriptor d;
+  d.job = job;
+  d.src_rank = rank;
+  d.dst_rank = dst;
+  d.tag = tag;
+  d.data = static_cast<const std::byte*>(buf);
+  d.bytes = bytes;
+  d.request = req;
+  d.posted_at = rs.proc->now();
+  d.seq = ++desc_seq_;
+  nodeState(rs.node).bs_fresh.push_back(d);
+  return req;
+}
+
+std::uint64_t Runtime::postRecv(int job, int rank, void* buf,
+                                std::size_t bytes, int src, int tag) {
+  RankState& rs = rankState(job, rank);
+  rs.proc->compute(config_.post_overhead);
+  const std::uint64_t req = rs.next_req++;
+  rs.requests.emplace(req, ReqInfo{});
+
+  RecvDescriptor d;
+  d.job = job;
+  d.dst_rank = rank;
+  d.want_src = src;
+  d.want_tag = tag;
+  d.data = static_cast<std::byte*>(buf);
+  d.bytes = bytes;
+  d.request = req;
+  d.posted_at = rs.proc->now();
+  d.seq = ++desc_seq_;
+  nodeState(rs.node).recv_fresh.push_back(d);
+  return req;
+}
+
+std::uint64_t Runtime::postCollective(int job, int rank, CollectiveType type,
+                                      int root, const void* contrib,
+                                      void* result, std::size_t count,
+                                      mpi::Datatype dt, mpi::ReduceOp op) {
+  RankState& rs = rankState(job, rank);
+  rs.proc->compute(config_.post_overhead);
+  const std::uint64_t req = rs.next_req++;
+  rs.requests.emplace(req, ReqInfo{});
+
+  CollectiveDescriptor d;
+  d.job = job;
+  d.rank = rank;
+  d.type = type;
+  d.gen = rs.next_coll_gen++;
+  d.root = root;
+  d.contrib = static_cast<const std::byte*>(contrib);
+  d.result = static_cast<std::byte*>(result);
+  d.count = count;
+  d.dt = dt;
+  d.op = op;
+  d.request = req;
+  d.posted_at = rs.proc->now();
+  nodeState(rs.node).coll_fresh.push_back(d);
+  return req;
+}
+
+Runtime::ReqInfo& Runtime::reqInfo(int job, int rank, std::uint64_t req) {
+  RankState& rs = rankState(job, rank);
+  auto it = rs.requests.find(req);
+  if (it == rs.requests.end()) {
+    throw sim::SimError("unknown request " + std::to_string(req));
+  }
+  return it->second;
+}
+
+bool Runtime::peekRequest(int job, int rank, std::uint64_t req) const {
+  const JobState& js = jobs_.at(static_cast<std::size_t>(job));
+  const RankState& rs = js.ranks.at(static_cast<std::size_t>(rank));
+  auto it = rs.requests.find(req);
+  if (it == rs.requests.end()) {
+    throw sim::SimError("peek on unknown request " + std::to_string(req));
+  }
+  return it->second.complete;
+}
+
+bool Runtime::testRequest(int job, int rank, std::uint64_t req,
+                          mpi::Status* status) {
+  ReqInfo& info = reqInfo(job, rank, req);
+  if (!info.complete) return false;
+  if (status) *status = info.status;
+  rankState(job, rank).requests.erase(req);
+  return true;
+}
+
+void Runtime::waitRequest(int job, int rank, std::uint64_t req,
+                          mpi::Status* status, bool spin) {
+  RankState& rs = rankState(job, rank);
+  // Predicate loop: completion is marked by the NIC threads mid-slice.
+  // Spin-waiters resume right then (completeRequest wakes them directly);
+  // descheduled waiters are restarted by the NM at the next slice boundary.
+  while (!reqInfo(job, rank, req).complete) {
+    reqInfo(job, rank, req).spin_waited = spin;
+    rs.proc->block();
+  }
+  if (status) *status = reqInfo(job, rank, req).status;
+  rs.requests.erase(req);
+}
+
+bool Runtime::probe(int job, int rank, int src, int tag, mpi::Status* status,
+                    bool blocking) {
+  RankState& rs = rankState(job, rank);
+  NodeState& ns = nodeState(rs.node);
+  while (true) {
+    RecvDescriptor want;
+    want.job = job;
+    want.dst_rank = rank;
+    want.want_src = src;
+    want.want_tag = tag;
+    const SendDescriptor* found = nullptr;
+    for (const auto& s : ns.remote_sends) {
+      if (matches(want, s)) {
+        found = &s;
+        break;
+      }
+    }
+    if (!found) {
+      // A message being transferred right now is also "arrived" for probe
+      // purposes (its envelope is known to the BR).
+      for (const auto& m : ns.match_queue) {
+        if (m.recv.request == 0 && matches(want, m.send)) {
+          found = &m.send;
+          break;
+        }
+      }
+    }
+    if (found) {
+      if (status) {
+        status->source = found->src_rank;
+        status->tag = found->tag;
+        status->bytes = found->bytes;
+      }
+      return true;
+    }
+    if (!blocking) return false;
+    ns.probe_waiters.emplace_back(job, rank);
+    rs.proc->block();
+  }
+}
+
+void Runtime::completeRequest(int job, int rank, std::uint64_t req, int peer,
+                              int tag, std::size_t bytes) {
+  RankState& rs = rankState(job, rank);
+  auto it = rs.requests.find(req);
+  if (it == rs.requests.end()) return;
+  it->second.complete = true;
+  it->second.status.source = peer;
+  it->second.status.tag = tag;
+  it->second.status.bytes = bytes;
+  ++rs.requests_completed;
+  if (it->second.spin_waited) {
+    // A busy-polling MPI_Wait sees the flag flip right away (Figure 2(b)).
+    if (rs.proc) rs.proc->wake();
+  } else {
+    nodeState(rs.node).wake_list.emplace_back(job, rank);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strobe Sender (management node)
+// ---------------------------------------------------------------------------
+
+void Runtime::startSlice() {
+  if (stop_requested_) {
+    strobing_ = false;
+    return;
+  }
+  if (!checkpoint_cbs_.empty()) {
+    // Slice boundary: the previous slice's transfers are all complete, so
+    // this snapshot is globally consistent without any message draining.
+    const CheckpointRecord record = snapshot();
+    std::vector<std::function<void(const CheckpointRecord&)>> cbs;
+    cbs.swap(checkpoint_cbs_);
+    for (auto& cb : cbs) cb(record);
+  }
+  ++slice_index_;
+  ++stats_.slices;
+  slice_start_ = cluster_.engine().now();
+  strobePhase(Phase::kDem);
+}
+
+void Runtime::requestCheckpoint(
+    std::function<void(const CheckpointRecord&)> cb) {
+  checkpoint_cbs_.push_back(std::move(cb));
+}
+
+CheckpointRecord Runtime::snapshot() const {
+  CheckpointRecord record;
+  record.slice = slice_index_;
+  record.time = cluster_.engine().now();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const JobState& js = jobs_[j];
+    CheckpointRecord::JobSnapshot snap;
+    snap.job = static_cast<int>(j);
+    snap.ranks = static_cast<int>(js.ranks.size());
+    snap.finished_ranks = js.finished;
+    for (const RankState& rs : js.ranks) {
+      snap.requests_posted += rs.next_req - 1;
+      snap.requests_completed += rs.requests_completed;
+    }
+    record.jobs.push_back(snap);
+  }
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeState& ns = nodes_[n];
+    CheckpointRecord::NodeSnapshot snap;
+    snap.node = static_cast<int>(n);
+    snap.fresh_sends = ns.bs_fresh.size();
+    snap.fresh_recvs = ns.recv_fresh.size();
+    snap.unmatched_remote = ns.remote_sends.size();
+    snap.unmatched_recvs = ns.recv_eligible.size();
+    for (const MatchDescriptor& m : ns.match_queue) {
+      if (m.offset > 0) {
+        ++snap.partial_messages;
+        snap.partial_bytes_moved += m.offset;
+        record.quiescent = false;
+      }
+    }
+    record.nodes.push_back(snap);
+  }
+  return record;
+}
+
+void Runtime::strobePhase(Phase p) {
+  const std::uint64_t seq = ++phase_seq_;
+  ++stats_.microstrobes;
+  if (trace_) {
+    trace_->record(cluster_.engine().now(), sim::TraceCategory::kStrobe,
+                   cluster_.managementNode(),
+                   std::string("microstrobe ") + phaseName(p) + " slice " +
+                       std::to_string(slice_index_));
+  }
+  core::XferRequest strobe;
+  strobe.src_node = cluster_.managementNode();
+  strobe.dest_nodes = all_compute_nodes_;
+  strobe.bytes = 16;  // phase id + sequence number
+  strobe.deliver = [this, p, seq](int node) { onStrobe(node, p, seq); };
+  core_.xferAndSignal(std::move(strobe));
+  pollPhaseDone(p, seq);
+}
+
+void Runtime::pollPhaseDone(Phase p, std::uint64_t seq) {
+  core::CompareAndWriteRequest req;
+  req.src_node = cluster_.managementNode();
+  req.nodes = all_compute_nodes_;
+  req.var = phase_done_var_;
+  req.op = core::CmpOp::kGE;
+  req.value = static_cast<std::int64_t>(seq);
+  core_.compareAndWriteAsync(std::move(req), [this, p, seq](bool done) {
+    if (done) {
+      phaseComplete(p);
+    } else {
+      cluster_.engine().after(config_.strobe_poll_interval,
+                              [this, p, seq] { pollPhaseDone(p, seq); });
+    }
+  });
+}
+
+void Runtime::phaseComplete(Phase p) {
+  if (p != Phase::kRm) {
+    strobePhase(static_cast<Phase>(static_cast<int>(p) + 1));
+    return;
+  }
+  // Slice finished.  Stop if all work is done, otherwise schedule the next
+  // slice on the fixed period grid.
+  maybeStop();
+  if (stop_requested_) {
+    strobing_ = false;
+    return;
+  }
+  const SimTime now = cluster_.engine().now();
+  SimTime next = slice_start_ + config_.time_slice;
+  if (next <= now) {
+    ++stats_.slice_overruns;
+    // Slipped past the boundary: re-align to the period grid.
+    const std::uint64_t k = static_cast<std::uint64_t>(
+        (now - slice_start_) / config_.time_slice);
+    next = slice_start_ + static_cast<SimTime>(k + 1) * config_.time_slice;
+  }
+  cluster_.engine().at(next, [this] { startSlice(); });
+}
+
+void Runtime::maybeStop() {
+  if (active_ranks_ > 0) return;
+  // All ranks finished; queues must be empty (a rank only finishes after
+  // its operations completed), so the strobe can stop.
+  stop_requested_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Strobe Receiver + NIC threads (compute nodes)
+// ---------------------------------------------------------------------------
+
+void Runtime::opStarted(int node) { ++nodeState(node).outstanding; }
+
+void Runtime::opFinished(int node) {
+  NodeState& ns = nodeState(node);
+  if (--ns.outstanding == 0) {
+    core_.writeVarLocal(node, phase_done_var_,
+                        static_cast<std::int64_t>(ns.phase_seq));
+  }
+}
+
+void Runtime::beginNodePhase(int node, std::uint64_t seq, Duration floor,
+                             Duration work_cost) {
+  NodeState& ns = nodeState(node);
+  ns.phase_seq = seq;
+  ns.outstanding = 0;
+  // One token for the NIC-thread processing time (at least the phase floor).
+  opStarted(node);
+  const Duration busy = std::max(floor, work_cost);
+  if (busy <= 0) {
+    // Degenerate (test) configurations: complete via the engine so the
+    // outstanding counter still protects against early completion.
+    cluster_.engine().at(cluster_.engine().now(),
+                         [this, node] { opFinished(node); });
+  } else {
+    cluster_.engine().after(busy, [this, node] { opFinished(node); });
+  }
+}
+
+void Runtime::onStrobe(int node, Phase p, std::uint64_t seq) {
+  switch (p) {
+    case Phase::kDem: runDem(node, seq); return;
+    case Phase::kMsm: runMsm(node, seq); return;
+    case Phase::kP2p: runP2p(node, seq); return;
+    case Phase::kBbm: runBbm(node, seq); return;
+    case Phase::kRm: runRm(node, seq); return;
+  }
+}
+
+}  // namespace bcs::bcsmpi

@@ -1,0 +1,336 @@
+#pragma once
+
+// The BCS-MPI runtime system (paper §4).
+//
+// One Runtime instance manages the whole machine, mirroring the paper's
+// process/thread architecture:
+//
+//   * The Strobe Sender (SS) logic runs on the management node: it opens
+//     every microphase by multicasting a microstrobe (Xfer-And-Signal) to
+//     the Strobe Receivers and polls for global phase completion with
+//     Compare-And-Write, exactly as in Figure 5.
+//   * Per compute node, the Strobe Receiver (SR) reacts to microstrobes and
+//     activates the NIC threads of the new microphase: the Buffer Sender
+//     (BS) and Buffer Receiver (BR) in the two global-message-scheduling
+//     microphases, the DMA Helper (DH) in the point-to-point microphase,
+//     the Collective Helper (CH) in the broadcast/barrier microphase and
+//     the Reduce Helper (RH) in the reduce microphase.
+//   * The Node Manager (NM) duties — waking blocked processes at slice
+//     boundaries and (optionally) gang-scheduling between jobs — happen at
+//     the DEM strobe, the start of each slice.
+//
+// All inter-node interaction goes through the three BCS core primitives
+// (src/bcs); the runtime never touches the fabric directly except via them.
+//
+// Application processes interact with the runtime only by posting
+// descriptors (descriptors.hpp) and blocking on request completion.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bcs/core.hpp"
+#include "bcsmpi/config.hpp"
+#include "bcsmpi/descriptors.hpp"
+#include "mpi/types.hpp"
+#include "net/cluster.hpp"
+#include "sim/process.hpp"
+
+namespace bcs::bcsmpi {
+
+using sim::Duration;
+using sim::SimTime;
+
+/// Microphases of one time slice (Figure 5).  The first two form the
+/// "global message scheduling" phase, the last three "message transmission".
+enum class Phase : int {
+  kDem = 0,  ///< Descriptor Exchange Microphase (BS -> remote BR)
+  kMsm = 1,  ///< Message Scheduling Microphase (BR matching + chunking)
+  kP2p = 2,  ///< Point-to-point Microphase (DH one-sided gets)
+  kBbm = 3,  ///< Broadcast & Barrier Microphase (CH)
+  kRm = 4,   ///< Reduce Microphase (RH, softfloat on the NIC)
+};
+inline constexpr int kNumPhases = 5;
+
+const char* phaseName(Phase p);
+
+/// A globally consistent snapshot of the machine's communication state,
+/// taken at a slice boundary (§1: "the fact that the communication state of
+/// all processes is known at the beginning of every time slice facilitates
+/// the implementation of checkpointing and debugging mechanisms").
+///
+/// At a boundary every scheduled transfer of the previous slice has
+/// completed, so the global state reduces to descriptor queues plus the
+/// chunk offsets of partially moved messages — no packet is in flight.
+struct CheckpointRecord {
+  std::uint64_t slice = 0;
+  sim::SimTime time = 0;
+  struct JobSnapshot {
+    int job = 0;
+    int ranks = 0;
+    int finished_ranks = 0;
+    std::uint64_t requests_posted = 0;
+    std::uint64_t requests_completed = 0;
+  };
+  std::vector<JobSnapshot> jobs;
+  struct NodeSnapshot {
+    int node = 0;
+    std::size_t fresh_sends = 0;       ///< posted, not yet exchanged
+    std::size_t fresh_recvs = 0;
+    std::size_t unmatched_remote = 0;  ///< exchanged, no matching recv yet
+    std::size_t unmatched_recvs = 0;
+    std::size_t partial_messages = 0;  ///< matched, mid-chunking
+    std::size_t partial_bytes_moved = 0;
+  };
+  std::vector<NodeSnapshot> nodes;
+  /// True iff no message is mid-transfer anywhere (restart from here needs
+  /// no payload replay at all).
+  bool quiescent = true;
+};
+
+/// Aggregate protocol counters, exposed for tests and benches.
+struct RuntimeStats {
+  std::uint64_t slices = 0;
+  std::uint64_t microstrobes = 0;
+  std::uint64_t descriptors_exchanged = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t chunks_transferred = 0;
+  std::uint64_t collectives_scheduled = 0;
+  std::uint64_t slice_overruns = 0;  ///< slices whose phases ran past period
+};
+
+class Runtime {
+ public:
+  Runtime(net::Cluster& cluster, BcsMpiConfig config);
+
+  net::Cluster& cluster() { return cluster_; }
+  const BcsMpiConfig& config() const { return config_; }
+  core::BcsCore& core() { return core_; }
+  const RuntimeStats& stats() const { return stats_; }
+
+  // ---- Job and process management ----
+
+  /// Creates a job whose rank r runs on node node_of_rank[r].
+  int createJob(std::vector<int> node_of_rank);
+
+  /// Binds the process running (job, rank).  Called from the process fiber
+  /// before any communication; charges the runtime bring-up overhead and
+  /// starts the global strobe on first registration.
+  void registerProcess(int job, int rank, sim::Process& proc);
+
+  /// Marks (job, rank) finished.  The strobe stops once every registered
+  /// rank of every job has finished.
+  void rankFinished(int job, int rank);
+
+  int jobSize(int job) const;
+  int nodeOfRank(int job, int rank) const;
+
+  // ---- Operations invoked from application fibers ----
+
+  std::uint64_t postSend(int job, int rank, const void* buf,
+                         std::size_t bytes, int dst, int tag);
+  std::uint64_t postRecv(int job, int rank, void* buf, std::size_t bytes,
+                         int src, int tag);
+  /// Posts a collective; the runtime assigns the per-rank generation.
+  std::uint64_t postCollective(int job, int rank, CollectiveType type,
+                               int root, const void* contrib, void* result,
+                               std::size_t count, mpi::Datatype dt,
+                               mpi::ReduceOp op);
+
+  bool testRequest(int job, int rank, std::uint64_t req, mpi::Status* status);
+
+  /// Non-consuming completion peek.
+  bool peekRequest(int job, int rank, std::uint64_t req) const;
+
+  /// Waits for request completion.  `spin` selects the Figure 2 semantics:
+  /// false = the blocking-primitive path (process descheduled; the NM
+  /// restarts it at the next slice boundary after completion); true = the
+  /// MPI_Wait-on-nonblocking path (the process busy-polls the NIC flag and
+  /// resumes at the completion instant).
+  void waitRequest(int job, int rank, std::uint64_t req, mpi::Status* status,
+                   bool spin = false);
+  bool probe(int job, int rank, int src, int tag, mpi::Status* status,
+             bool blocking);
+
+  /// Index of the current time slice (also the count of DEM strobes sent).
+  std::uint64_t sliceIndex() const { return slice_index_; }
+
+  /// Requests a coordinated checkpoint: `cb` runs at the next slice
+  /// boundary (before the DEM strobe goes out) with a globally consistent
+  /// snapshot.  Multiple pending requests are all served at that boundary.
+  void requestCheckpoint(std::function<void(const CheckpointRecord&)> cb);
+
+  /// Builds a snapshot immediately — only meaningful at a slice boundary;
+  /// exposed for tests.
+  CheckpointRecord snapshot() const;
+
+ private:
+  struct ReqInfo {
+    bool complete = false;
+    bool spin_waited = false;  ///< a busy-polling MPI_Wait is watching
+    mpi::Status status;
+  };
+  struct RankState {
+    sim::Process* proc = nullptr;
+    int node = -1;
+    bool finished = false;
+    std::uint64_t next_req = 1;
+    int next_coll_gen = 0;
+    std::uint64_t requests_completed = 0;
+    std::unordered_map<std::uint64_t, ReqInfo> requests;
+  };
+  struct JobState {
+    std::vector<int> node_of_rank;
+    std::vector<int> nodes;  ///< unique nodes, ascending
+    std::vector<RankState> ranks;
+    core::GlobalVarId coll_flag = -1;   ///< highest locally flagged gen
+    core::GlobalVarId coll_sched = -1;  ///< highest globally scheduled gen
+    int registered = 0;
+    int finished = 0;
+  };
+
+  /// Per-(node, job) state of the single outstanding collective.
+  struct PendingCollective {
+    bool active = false;
+    CollectiveType type = CollectiveType::kBarrier;
+    int gen = -1;
+    int root = 0;
+    std::size_t count = 0;
+    mpi::Datatype dt = mpi::Datatype::kByte;
+    mpi::ReduceOp op = mpi::ReduceOp::kSum;
+    std::vector<CollectiveDescriptor> local;  ///< descriptors of local ranks
+    bool flagged = false;     ///< local flag published (all local ranks in)
+    bool caw_inflight = false;  ///< master node: scheduling query running
+    bool executing = false;   ///< picked up by CH/RH this slice
+    // Reduce Helper state:
+    int children_left = 0;
+    int parent_node = -1;
+    bool local_ready = false;
+    std::vector<std::byte> partial;
+    std::vector<std::shared_ptr<std::vector<std::byte>>> queued_partials;
+  };
+
+  /// One scheduled chunk transfer (a DH get), built in the MSM.
+  struct GetOp {
+    int src_node = 0;
+    const std::byte* src = nullptr;
+    std::byte* dst = nullptr;
+    std::size_t bytes = 0;
+    bool final_chunk = false;
+    int job = 0;
+    int src_rank = 0;
+    int dst_rank = 0;
+    int tag = 0;
+    std::size_t message_bytes = 0;
+    std::uint64_t send_req = 0;
+    std::uint64_t recv_req = 0;
+  };
+
+  struct NodeState {
+    // Buffer Sender
+    std::deque<SendDescriptor> bs_fresh;
+    // Buffer Receiver
+    std::deque<SendDescriptor> remote_sends;   ///< arrived during DEMs
+    std::deque<RecvDescriptor> recv_fresh;     ///< posted by local ranks
+    std::deque<RecvDescriptor> recv_eligible;  ///< visible to matching
+    std::deque<MatchDescriptor> match_queue;   ///< unscheduled remainders
+    std::deque<CollectiveDescriptor> coll_fresh;
+    std::map<int, PendingCollective> pending_coll;  ///< by job id
+    // DMA Helper work for the current slice
+    std::vector<GetOp> slice_gets;
+    // Node Manager
+    std::vector<std::pair<int, int>> wake_list;   ///< (job, rank)
+    std::vector<std::pair<int, int>> probe_waiters;
+    // Microphase completion tracking
+    std::uint64_t phase_seq = 0;
+    int outstanding = 0;
+  };
+
+  // ---- Strobe Sender (management node) ----
+  void startSlice();
+  void strobePhase(Phase p);
+  void pollPhaseDone(Phase p, std::uint64_t seq);
+  void phaseComplete(Phase p);
+  void maybeStop();
+
+  // ---- Strobe Receiver / NIC threads (compute nodes) ----
+  void onStrobe(int node, Phase p, std::uint64_t seq);
+  void beginNodePhase(int node, std::uint64_t seq, Duration floor,
+                      Duration work_cost);
+  void opStarted(int node);
+  void opFinished(int node);
+  void runDem(int node, std::uint64_t seq);
+  void drainDescriptorFifos(int node);
+  void runMsm(int node, std::uint64_t seq);
+  void runP2p(int node, std::uint64_t seq);
+  void runBbm(int node, std::uint64_t seq);
+  void runRm(int node, std::uint64_t seq);
+
+  // BR helpers
+  int preprocessCollectivesCount(int node);
+  void matchDescriptors(int node, Duration& cost);
+  void scheduleChunks(int node);
+  void scheduleCollectiveQueries(int node);
+
+  // CH / RH helpers (collectives.cpp)
+  using Payload = std::shared_ptr<std::vector<std::byte>>;
+  void executeBroadcast(int node, int job);
+  void executeReduce(int node, int job);
+  void reduceIncoming(int node, int job, Payload data);
+  void reduceApply(int node, int job, Payload data);
+  void reduceAdvance(int node, int job);
+  void reduceSendUp(int node, int job);
+  void reduceDeliverResult(int node, int job);
+  void finishCollectiveOnNode(int node, int job, Payload payload);
+  int collectiveOwnerNode(const JobState& js,
+                          const PendingCollective& pc) const;
+
+  // Completion plumbing
+  ReqInfo& reqInfo(int job, int rank, std::uint64_t req);
+  void completeRequest(int job, int rank, std::uint64_t req, int peer,
+                       int tag, std::size_t bytes);
+  void wakeAtSliceStart(int node);
+
+  RankState& rankState(int job, int rank);
+  JobState& jobState(int job);
+  NodeState& nodeState(int node);
+
+  /// MPI matching: wildcard tag matches only application (non-negative)
+  /// tags; internal negative tags must match exactly (see mpi/comm.hpp).
+  static bool matches(const RecvDescriptor& r, const SendDescriptor& s) {
+    return r.job == s.job && r.dst_rank == s.dst_rank &&
+           (r.want_src == mpi::kAnySource || r.want_src == s.src_rank) &&
+           (r.want_tag == s.tag || (r.want_tag == mpi::kAnyTag && s.tag >= 0));
+  }
+
+  net::Cluster& cluster_;
+  BcsMpiConfig config_;
+  core::BcsCore core_;
+  sim::Trace* trace_;
+
+  std::vector<JobState> jobs_;
+  std::vector<NodeState> nodes_;
+  std::vector<int> all_compute_nodes_;
+
+  core::GlobalVarId phase_done_var_ = -1;
+  core::GlobalEventId strobe_event_ = -1;
+  /// Local completion event used by CH/RH multicasts (one signal per op).
+  core::GlobalEventId coll_done_event_ = -1;
+
+  bool strobing_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t slice_index_ = 0;
+  SimTime slice_start_ = 0;
+  std::uint64_t phase_seq_ = 0;
+  std::uint64_t desc_seq_ = 0;
+  int active_ranks_ = 0;
+
+  std::vector<std::function<void(const CheckpointRecord&)>> checkpoint_cbs_;
+
+  RuntimeStats stats_;
+};
+
+}  // namespace bcs::bcsmpi

@@ -1,0 +1,171 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace bcs::mpi {
+
+void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) {
+  Request r = isend(buf, bytes, dest, tag);
+  wait(r);
+}
+
+void Comm::recv(void* buf, std::size_t bytes, int src, int tag,
+                Status* status) {
+  Request r = irecv(buf, bytes, src, tag);
+  wait(r, status);
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (Request& r : reqs) wait(r);
+}
+
+bool Comm::testall(std::span<Request> reqs) {
+  // MPI_Testall semantics: either all complete (and all are released) or
+  // none are.  First peek without consuming, then consume.
+  for (const Request& r : reqs) {
+    if (!r.null() && !completed(r)) return false;
+  }
+  for (Request& r : reqs) {
+    if (!r.null()) test(r);
+  }
+  return true;
+}
+
+void Comm::scatter(const void* send_buf, std::size_t bytes_each,
+                   void* recv_buf, int root) {
+  std::vector<std::size_t> counts, displs;
+  if (rank() == root) {
+    counts.assign(static_cast<std::size_t>(size()), bytes_each);
+    displs.resize(static_cast<std::size_t>(size()));
+    for (std::size_t i = 0; i < displs.size(); ++i) displs[i] = i * bytes_each;
+  }
+  scatterv(send_buf, counts, displs, recv_buf, bytes_each, root);
+}
+
+void Comm::scatterv(const void* send_buf, std::span<const std::size_t> counts,
+                    std::span<const std::size_t> displs, void* recv_buf,
+                    std::size_t recv_bytes, int root) {
+  const int tag = nextCollTag();
+  if (rank() == root) {
+    if (counts.size() != static_cast<std::size_t>(size()) ||
+        displs.size() != counts.size()) {
+      throw std::invalid_argument("scatterv: bad counts/displs at root");
+    }
+    const auto* base = static_cast<const std::byte*>(send_buf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size()) - 1);
+    for (int r = 0; r < size(); ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (r == rank()) {
+        std::memcpy(recv_buf, base + displs[i], counts[i]);
+        continue;
+      }
+      reqs.push_back(isend(base + displs[i], counts[i], r, tag));
+    }
+    waitall(reqs);
+  } else {
+    recv(recv_buf, recv_bytes, root, tag);
+  }
+}
+
+void Comm::gather(const void* send_buf, std::size_t bytes_each,
+                  void* recv_buf, int root) {
+  std::vector<std::size_t> counts, displs;
+  if (rank() == root) {
+    counts.assign(static_cast<std::size_t>(size()), bytes_each);
+    displs.resize(static_cast<std::size_t>(size()));
+    for (std::size_t i = 0; i < displs.size(); ++i) displs[i] = i * bytes_each;
+  }
+  gatherv(send_buf, bytes_each, recv_buf, counts, displs, root);
+}
+
+void Comm::gatherv(const void* send_buf, std::size_t send_bytes,
+                   void* recv_buf, std::span<const std::size_t> counts,
+                   std::span<const std::size_t> displs, int root) {
+  const int tag = nextCollTag();
+  if (rank() == root) {
+    if (counts.size() != static_cast<std::size_t>(size()) ||
+        displs.size() != counts.size()) {
+      throw std::invalid_argument("gatherv: bad counts/displs at root");
+    }
+    auto* base = static_cast<std::byte*>(recv_buf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size()) - 1);
+    for (int r = 0; r < size(); ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (r == rank()) {
+        std::memcpy(base + displs[i], send_buf, counts[i]);
+        continue;
+      }
+      reqs.push_back(irecv(base + displs[i], counts[i], r, tag));
+    }
+    waitall(reqs);
+  } else {
+    send(send_buf, send_bytes, root, tag);
+  }
+}
+
+void Comm::allgather(const void* send_buf, std::size_t bytes_each,
+                     void* recv_buf) {
+  gather(send_buf, bytes_each, recv_buf, /*root=*/0);
+  bcast(recv_buf, bytes_each * static_cast<std::size_t>(size()), /*root=*/0);
+}
+
+void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
+                      void* recv_buf, std::span<const std::size_t> counts,
+                      std::span<const std::size_t> displs) {
+  if (counts.size() != static_cast<std::size_t>(size()) ||
+      displs.size() != counts.size()) {
+    throw std::invalid_argument("allgatherv: counts/displs must be global");
+  }
+  gatherv(send_buf, send_bytes, recv_buf, counts, displs, /*root=*/0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total = std::max(total, displs[i] + counts[i]);
+  }
+  bcast(recv_buf, total, /*root=*/0);
+}
+
+void Comm::alltoall(const void* send_buf, std::size_t bytes_each,
+                    void* recv_buf) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(size()),
+                                  bytes_each);
+  std::vector<std::size_t> displs(static_cast<std::size_t>(size()));
+  for (std::size_t i = 0; i < displs.size(); ++i) displs[i] = i * bytes_each;
+  alltoallv(send_buf, counts, displs, recv_buf, counts, displs);
+}
+
+void Comm::alltoallv(const void* send_buf,
+                     std::span<const std::size_t> send_counts,
+                     std::span<const std::size_t> send_displs, void* recv_buf,
+                     std::span<const std::size_t> recv_counts,
+                     std::span<const std::size_t> recv_displs) {
+  if (send_counts.size() != static_cast<std::size_t>(size()) ||
+      recv_counts.size() != send_counts.size()) {
+    throw std::invalid_argument("alltoallv: bad counts");
+  }
+  const int tag = nextCollTag();
+  const auto* sbase = static_cast<const std::byte*>(send_buf);
+  auto* rbase = static_cast<std::byte*>(recv_buf);
+  {
+    const auto i = static_cast<std::size_t>(rank());
+    std::memcpy(rbase + recv_displs[i], sbase + send_displs[i],
+                std::min(send_counts[i], recv_counts[i]));
+  }
+  // Rotated (pairwise) schedule: rank r exchanges with r+1, r+2, ... so no
+  // single node's NIC becomes everyone's first target — without this, all
+  // ranks drain node 0 first and its egress serializes the whole pattern.
+  std::vector<Request> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(size()) - 2);
+  for (int k = 1; k < size(); ++k) {
+    const int r = (rank() + k) % size();
+    const auto i = static_cast<std::size_t>(r);
+    reqs.push_back(irecv(rbase + recv_displs[i], recv_counts[i], r, tag));
+    reqs.push_back(isend(sbase + send_displs[i], send_counts[i], r, tag));
+  }
+  waitall(reqs);
+}
+
+}  // namespace bcs::mpi

@@ -1,0 +1,153 @@
+#pragma once
+
+// The communicator interface both message-passing libraries implement.
+//
+// Application skeletons (src/apps) are written against this interface only,
+// so the same source runs unmodified over Quadrics-MPI-style eager/
+// rendezvous messaging (src/baseline) and over globally coscheduled BCS-MPI
+// (src/bcsmpi) — exactly the apples-to-apples setup of the paper's §5.
+//
+// Layering follows the paper's Appendix A: barrier, bcast and reduce are
+// primitive (each backend supplies its own, NIC-level for BCS-MPI), while
+// scatter(v) / gather(v) / allgather(v) / alltoall(v) are implemented here
+// once, on top of the point-to-point and primitive-collective operations.
+//
+// Buffers are raw byte ranges plus an element Datatype where reduction
+// arithmetic is involved; typed convenience wrappers are at the bottom.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::mpi {
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Simulated wall clock (for timing sections of an application).
+  virtual sim::SimTime now() const = 0;
+
+  /// Consumes `work` ns of CPU on this process's node (the computation part
+  /// of a bulk-synchronous step).
+  virtual void compute(sim::Duration work) = 0;
+
+  // ---- Point-to-point ----
+
+  virtual void send(const void* buf, std::size_t bytes, int dest, int tag);
+  virtual void recv(void* buf, std::size_t bytes, int src, int tag,
+                    Status* status = nullptr);
+  virtual Request isend(const void* buf, std::size_t bytes, int dest,
+                        int tag) = 0;
+  virtual Request irecv(void* buf, std::size_t bytes, int src, int tag) = 0;
+
+  /// Blocks until `r` completes; clears it to the null request.
+  virtual void wait(Request& r, Status* status = nullptr) = 0;
+
+  /// Non-blocking completion check; on success clears `r` and returns true.
+  virtual bool test(Request& r, Status* status = nullptr) = 0;
+
+  /// Non-consuming completion peek: true iff `r` has completed.  Unlike
+  /// test(), never releases the request (needed for MPI_Testall's
+  /// all-or-nothing semantics).
+  virtual bool completed(const Request& r) const = 0;
+
+  virtual void waitall(std::span<Request> reqs);
+  virtual bool testall(std::span<Request> reqs);
+
+  /// MPI_Probe/MPI_Iprobe: checks for a matching incoming message without
+  /// receiving it.  Returns true (and fills `status`) if one is pending.
+  virtual bool probe(int src, int tag, Status* status, bool blocking) = 0;
+
+  // ---- Primitive collectives (backend-specific) ----
+
+  virtual void barrier() = 0;
+  virtual void bcast(void* buf, std::size_t bytes, int root) = 0;
+  virtual void reduce(const void* contrib, void* result, std::size_t count,
+                      Datatype dt, ReduceOp op, int root) = 0;
+  virtual void allreduce(const void* contrib, void* result, std::size_t count,
+                         Datatype dt, ReduceOp op) = 0;
+
+  // ---- Composed collectives (implemented here on top of the above) ----
+
+  /// Root holds size()*bytes_each; every rank receives its slice.
+  void scatter(const void* send_buf, std::size_t bytes_each, void* recv_buf,
+               int root);
+  /// Vectorial scatter: per-rank byte counts and displacements at the root.
+  void scatterv(const void* send_buf, std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs, void* recv_buf,
+                std::size_t recv_bytes, int root);
+
+  void gather(const void* send_buf, std::size_t bytes_each, void* recv_buf,
+              int root);
+  void gatherv(const void* send_buf, std::size_t send_bytes, void* recv_buf,
+               std::span<const std::size_t> counts,
+               std::span<const std::size_t> displs, int root);
+
+  void allgather(const void* send_buf, std::size_t bytes_each,
+                 void* recv_buf);
+  void allgatherv(const void* send_buf, std::size_t send_bytes,
+                  void* recv_buf, std::span<const std::size_t> counts,
+                  std::span<const std::size_t> displs);
+
+  /// Each rank sends bytes_each to every rank (send_buf holds size() *
+  /// bytes_each, laid out by destination; recv_buf likewise by source).
+  void alltoall(const void* send_buf, std::size_t bytes_each, void* recv_buf);
+  void alltoallv(const void* send_buf, std::span<const std::size_t> send_counts,
+                 std::span<const std::size_t> send_displs, void* recv_buf,
+                 std::span<const std::size_t> recv_counts,
+                 std::span<const std::size_t> recv_displs);
+
+  // ---- Typed convenience wrappers ----
+
+  template <typename T>
+  void sendv(std::span<const T> data, int dest, int tag) {
+    send(data.data(), data.size_bytes(), dest, tag);
+  }
+  template <typename T>
+  void recvv(std::span<T> data, int src, int tag, Status* st = nullptr) {
+    recv(data.data(), data.size_bytes(), src, tag, st);
+  }
+  template <typename T>
+  Request isendv(std::span<const T> data, int dest, int tag) {
+    return isend(data.data(), data.size_bytes(), dest, tag);
+  }
+  template <typename T>
+  Request irecvv(std::span<T> data, int src, int tag) {
+    return irecv(data.data(), data.size_bytes(), src, tag);
+  }
+
+  /// Scalar allreduce, e.g. `double s = comm.allreduceOne(x, kSum)`.
+  double allreduceOne(double value, ReduceOp op) {
+    double out = 0;
+    allreduce(&value, &out, 1, Datatype::kFloat64, op);
+    return out;
+  }
+  std::int64_t allreduceOne(std::int64_t value, ReduceOp op) {
+    std::int64_t out = 0;
+    allreduce(&value, &out, 1, Datatype::kInt64, op);
+    return out;
+  }
+
+ protected:
+  /// Internal point-to-point traffic (composed collectives, reduction
+  /// trees) uses *negative* tags.  Application tags must be >= 0 (as in
+  /// MPI), and kAnyTag receives match only non-negative tags, so internal
+  /// traffic can never be stolen by an application wildcard receive — the
+  /// role MPI communicator contexts play in a real implementation.
+  /// Collectives are invoked in the same order by every rank, so the
+  /// per-rank sequence number agrees across ranks without communication.
+  static constexpr int kCollTagBase = -(1 << 20);
+  int nextCollTag() { return kCollTagBase - (coll_seq_++ & 0xFFFF); }
+
+ private:
+  int coll_seq_ = 0;
+};
+
+}  // namespace bcs::mpi

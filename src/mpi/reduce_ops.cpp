@@ -1,0 +1,90 @@
+#include "mpi/reduce_ops.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "softfloat/softfloat.hpp"
+
+namespace bcs::mpi {
+namespace {
+
+template <typename T>
+T hostOp(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  throw std::invalid_argument("hostOp: bad op");
+}
+
+template <typename T>
+void hostLoop(ReduceOp op, void* acc, const void* in, std::size_t count) {
+  auto* a = static_cast<T*>(acc);
+  const auto* b = static_cast<const T*>(in);
+  for (std::size_t i = 0; i < count; ++i) a[i] = hostOp(op, a[i], b[i]);
+}
+
+float sfOp32(ReduceOp op, float a, float b) {
+  switch (op) {
+    case ReduceOp::kSum: return sf::addf(a, b);
+    case ReduceOp::kProd: return sf::mulf(a, b);
+    case ReduceOp::kMin: return sf::minf(a, b);
+    case ReduceOp::kMax: return sf::maxf(a, b);
+  }
+  throw std::invalid_argument("sfOp32: bad op");
+}
+
+double sfOp64(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::kSum: return sf::addd(a, b);
+    case ReduceOp::kProd: return sf::muld(a, b);
+    case ReduceOp::kMin: return sf::mind(a, b);
+    case ReduceOp::kMax: return sf::maxd(a, b);
+  }
+  throw std::invalid_argument("sfOp64: bad op");
+}
+
+}  // namespace
+
+void applyReduce(ReduceOp op, Datatype dt, void* acc, const void* in,
+                 std::size_t count, ReduceFlavor flavor) {
+  switch (dt) {
+    case Datatype::kByte:
+      // Reduce over raw bytes treats them as unsigned integers.
+      hostLoop<std::uint8_t>(op, acc, in, count);
+      return;
+    case Datatype::kInt32:
+      hostLoop<std::int32_t>(op, acc, in, count);
+      return;
+    case Datatype::kInt64:
+      hostLoop<std::int64_t>(op, acc, in, count);
+      return;
+    case Datatype::kFloat32: {
+      if (flavor == ReduceFlavor::kHost) {
+        hostLoop<float>(op, acc, in, count);
+        return;
+      }
+      auto* a = static_cast<float*>(acc);
+      const auto* b = static_cast<const float*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = sfOp32(op, a[i], b[i]);
+      return;
+    }
+    case Datatype::kFloat64: {
+      if (flavor == ReduceFlavor::kHost) {
+        hostLoop<double>(op, acc, in, count);
+        return;
+      }
+      auto* a = static_cast<double*>(acc);
+      const auto* b = static_cast<const double*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = sfOp64(op, a[i], b[i]);
+      return;
+    }
+  }
+  throw std::invalid_argument("applyReduce: bad datatype");
+}
+
+}  // namespace bcs::mpi

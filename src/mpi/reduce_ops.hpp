@@ -1,0 +1,30 @@
+#pragma once
+
+// Elementwise reduction kernels.
+//
+// Two execution flavours:
+//   * kHost — native CPU arithmetic (what the baseline MPI uses when it
+//     reduces in the host processors);
+//   * kNicSoftFloat — integer arithmetic everywhere; float32/float64 go
+//     through src/softfloat, exactly like the paper's Reduce Helper on the
+//     FPU-less Elan3 NIC (§4.4, SoftFloat citation [30]).
+//
+// Both flavours produce bit-identical IEEE results for add/min/max (the
+// softfloat library rounds to nearest even like the host), which the test
+// suite checks — that equivalence is what made NIC-side reduction safe to
+// deploy.
+
+#include <cstddef>
+
+#include "mpi/types.hpp"
+
+namespace bcs::mpi {
+
+enum class ReduceFlavor { kHost, kNicSoftFloat };
+
+/// acc[i] = op(acc[i], in[i]) for count elements of type dt.
+/// Buffers must not overlap and must hold count * datatypeSize(dt) bytes.
+void applyReduce(ReduceOp op, Datatype dt, void* acc, const void* in,
+                 std::size_t count, ReduceFlavor flavor);
+
+}  // namespace bcs::mpi

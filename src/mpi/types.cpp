@@ -1,0 +1,39 @@
+#include "mpi/types.hpp"
+
+#include <stdexcept>
+
+namespace bcs::mpi {
+
+std::size_t datatypeSize(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return 1;
+    case Datatype::kInt32: return 4;
+    case Datatype::kInt64: return 8;
+    case Datatype::kFloat32: return 4;
+    case Datatype::kFloat64: return 8;
+  }
+  throw std::invalid_argument("datatypeSize: bad datatype");
+}
+
+const char* datatypeName(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return "byte";
+    case Datatype::kInt32: return "int32";
+    case Datatype::kInt64: return "int64";
+    case Datatype::kFloat32: return "float32";
+    case Datatype::kFloat64: return "float64";
+  }
+  return "?";
+}
+
+const char* reduceOpName(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kProd: return "prod";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
+}
+
+}  // namespace bcs::mpi

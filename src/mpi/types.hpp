@@ -1,0 +1,54 @@
+#pragma once
+
+// Common MPI-style types shared by the two message-passing implementations
+// in this repository (the BCS-MPI library under src/bcsmpi and the
+// latency-optimized "Quadrics MPI"-style baseline under src/baseline).
+//
+// The subset mirrors what the paper's Figure 13 maps: point-to-point with
+// blocking/non-blocking flavours, probe/test/wait(all), and the collective
+// set {barrier, bcast, reduce, allreduce, scatter(v), gather(v),
+// allgather(v), alltoall(v)}.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bcs::mpi {
+
+/// Wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Element datatypes understood by the reduction machinery.
+enum class Datatype : std::uint8_t {
+  kByte,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kFloat64,
+};
+
+std::size_t datatypeSize(Datatype dt);
+const char* datatypeName(Datatype dt);
+
+/// Reduction operators.
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
+
+const char* reduceOpName(ReduceOp op);
+
+/// Completion status of a receive (subset of MPI_Status).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Opaque request handle for non-blocking operations.  Identifiers are
+/// allocated by the owning communicator; a default-constructed Request is
+/// "null" (MPI_REQUEST_NULL): wait/test on it succeed immediately.
+struct Request {
+  std::uint64_t id = 0;
+  bool null() const { return id == 0; }
+};
+
+}  // namespace bcs::mpi

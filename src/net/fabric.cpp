@@ -1,0 +1,261 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+namespace bcs::net {
+
+Fabric::Fabric(sim::Engine& engine, NetworkParams params, int num_nodes,
+               sim::Trace* trace)
+    : engine_(engine),
+      params_(std::move(params)),
+      num_nodes_(num_nodes),
+      tree_(num_nodes, params_.radix),
+      endpoints_(static_cast<std::size_t>(num_nodes)),
+      trace_(trace) {}
+
+void Fabric::checkNode(int node) const {
+  if (node < 0 || node >= num_nodes_) {
+    throw sim::SimError("Fabric: node index " + std::to_string(node) +
+                        " out of range [0, " + std::to_string(num_nodes_) +
+                        ")");
+  }
+}
+
+Duration Fabric::baseLatency(int src, int dst) const {
+  if (src == dst) return params_.pci_latency;
+  return params_.wire_latency +
+         static_cast<Duration>(tree_.hops(src, dst)) * params_.hop_latency;
+}
+
+void Fabric::unicast(int src, int dst, std::size_t bytes,
+                     std::function<void()> on_delivered,
+                     std::function<void()> on_injected) {
+  checkNode(src);
+  checkNode(dst);
+  ++stats_.unicasts;
+  stats_.payload_bytes += static_cast<double>(bytes);
+
+  const SimTime now = engine_.now();
+
+  if (src == dst) {
+    // NIC loopback: payload crosses the host bus twice but never the wire.
+    const double bw =
+        params_.pci_bandwidth > 0 ? params_.pci_bandwidth : params_.link_bandwidth;
+    const auto xfer = static_cast<Duration>(static_cast<double>(bytes) / bw);
+    const Duration total = params_.nic_tx_overhead + params_.nic_rx_overhead +
+                           params_.pci_latency + xfer;
+    if (on_injected) engine_.at(now + params_.nic_tx_overhead, std::move(on_injected));
+    engine_.at(now + total, std::move(on_delivered));
+    return;
+  }
+
+  const double bw = params_.effectiveBandwidth();
+  const auto serial =
+      static_cast<Duration>(std::ceil(static_cast<double>(bytes) / bw));
+
+  Endpoint& e_src = endpoints_[static_cast<std::size_t>(src)];
+  Endpoint& e_dst = endpoints_[static_cast<std::size_t>(dst)];
+
+  const SimTime inject = now + params_.nic_tx_overhead + params_.pci_latency;
+  const SimTime start_tx = std::max(inject, e_src.egress_free);
+  e_src.egress_free = start_tx + serial;
+
+  const SimTime arrival = start_tx + baseLatency(src, dst) + serial;
+  const SimTime deliver_end =
+      std::max(arrival, e_dst.ingress_free + serial);
+  e_dst.ingress_free = deliver_end;
+
+  const SimTime completion = deliver_end + params_.nic_rx_overhead;
+
+  if (trace_) {
+    trace_->record(now, sim::TraceCategory::kNet, src,
+                   "unicast -> n" + std::to_string(dst) + " " +
+                       std::to_string(bytes) + "B, delivers at " +
+                       sim::formatTime(completion));
+  }
+  if (on_injected) engine_.at(e_src.egress_free, std::move(on_injected));
+  engine_.at(completion, std::move(on_delivered));
+}
+
+void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
+                       std::function<void(int)> on_delivered_at,
+                       std::function<void()> on_all) {
+  checkNode(src);
+  dests.erase(std::remove(dests.begin(), dests.end(), src), dests.end());
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+  for (int d : dests) checkNode(d);
+
+  ++stats_.multicasts;
+  stats_.payload_bytes += static_cast<double>(bytes) *
+                          static_cast<double>(std::max<std::size_t>(dests.size(), 1));
+
+  if (dests.empty()) {
+    if (on_all) engine_.at(engine_.now(), std::move(on_all));
+    return;
+  }
+
+  if (!params_.hw_multicast) {
+    softwareMulticast(src, dests, bytes, std::move(on_delivered_at),
+                      std::move(on_all));
+    return;
+  }
+
+  const SimTime now = engine_.now();
+  const double bw = params_.effectiveBandwidth();
+  const auto serial =
+      static_cast<Duration>(std::ceil(static_cast<double>(bytes) / bw));
+  const double mbw = params_.mcast_bandwidth > 0 ? params_.mcast_bandwidth : bw;
+  const auto dserial =
+      static_cast<Duration>(std::ceil(static_cast<double>(bytes) / mbw));
+
+  Endpoint& e_src = endpoints_[static_cast<std::size_t>(src)];
+  const SimTime inject = now + params_.nic_tx_overhead + params_.pci_latency;
+  const SimTime start_tx = std::max(inject, e_src.egress_free);
+  e_src.egress_free = start_tx + serial;
+
+  // The switch fans out; the fixed part is the depth of the tree.
+  const Duration fanout_latency =
+      params_.mcast_base_latency +
+      static_cast<Duration>(tree_.levels()) * params_.hop_latency;
+
+  SimTime last = 0;
+  for (int d : dests) {
+    Endpoint& e_dst = endpoints_[static_cast<std::size_t>(d)];
+    const SimTime arrival = start_tx + fanout_latency + dserial;
+    const SimTime deliver_end = std::max(arrival, e_dst.ingress_free + dserial);
+    e_dst.ingress_free = deliver_end;
+    const SimTime completion = deliver_end + params_.nic_rx_overhead;
+    last = std::max(last, completion);
+    if (on_delivered_at) {
+      engine_.at(completion, [cb = on_delivered_at, d] { cb(d); });
+    }
+  }
+  if (trace_) {
+    trace_->record(now, sim::TraceCategory::kNet, src,
+                   "hw-multicast to " + std::to_string(dests.size()) +
+                       " nodes, " + std::to_string(bytes) + "B");
+  }
+  if (on_all) engine_.at(last, std::move(on_all));
+}
+
+void Fabric::softwareMulticast(int src, const std::vector<int>& dests,
+                               std::size_t bytes,
+                               std::function<void(int)> on_delivered_at,
+                               std::function<void()> on_all) {
+  // Binomial tree rooted at src.  Relay order: src, dests[0], dests[1], ...
+  // Position i forwards to positions i + 2^k for i + 2^k < n, largest k
+  // first — the classic log2(n) schedule.  Each forward costs one software
+  // step on the relaying NIC plus a unicast.
+  struct State {
+    std::vector<int> order;
+    std::function<void(int)> per_dest;
+    std::function<void()> all_done;
+    std::size_t outstanding = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->order.reserve(dests.size() + 1);
+  st->order.push_back(src);
+  st->order.insert(st->order.end(), dests.begin(), dests.end());
+  st->per_dest = std::move(on_delivered_at);
+  st->all_done = std::move(on_all);
+  st->outstanding = dests.size();
+
+  const std::size_t n = st->order.size();
+
+  // Doubling schedule: in round r (r = 1, 2, 4, ...), every position p < r
+  // with p + r < n sends to position p + r.  A position issues its sends
+  // when its own copy of the payload has arrived, so depth and contention
+  // are modelled by the chained unicasts themselves, each preceded by one
+  // software processing step on the relaying NIC.
+  struct Issue {
+    std::size_t from, to;
+  };
+  std::vector<Issue> schedule;
+  for (std::size_t r = 1; r < 2 * n; r <<= 1) {
+    for (std::size_t p = 0; p < r && p + r < n; ++p) {
+      schedule.push_back(Issue{p, p + r});
+    }
+  }
+  // received[i] callback chain: when position i has the payload, issue all
+  // its scheduled sends (those with from == i).
+  auto issueFrom = std::make_shared<std::function<void(std::size_t)>>();
+  auto sched = std::make_shared<std::vector<Issue>>(std::move(schedule));
+  std::size_t bytes_copy = bytes;
+  *issueFrom = [this, st, issueFrom, sched, bytes_copy](std::size_t pos) {
+    for (const Issue& is : *sched) {
+      if (is.from != pos) continue;
+      const int from_node = st->order[is.from];
+      const int to_node = st->order[is.to];
+      const std::size_t to_pos = is.to;
+      engine_.after(params_.sw_step_latency, [this, st, issueFrom, from_node,
+                                              to_node, to_pos, bytes_copy] {
+        unicast(from_node, to_node,
+                bytes_copy,
+                [st, issueFrom, to_node, to_pos] {
+                  if (st->per_dest) st->per_dest(to_node);
+                  (*issueFrom)(to_pos);
+                  if (--st->outstanding == 0 && st->all_done) st->all_done();
+                });
+      });
+    }
+  };
+  (*issueFrom)(0);
+}
+
+Duration Fabric::conditionalLatency(int n) const {
+  if (n <= 1) return params_.hw_conditional ? params_.cond_base_latency
+                                            : params_.sw_step_latency;
+  if (params_.hw_conditional) {
+    // Query broadcast down + combine up, pipelined in the switches.
+    const int levels = tree_.levels();
+    return params_.cond_base_latency +
+           static_cast<Duration>(levels) * params_.cond_hop_latency;
+  }
+  // Software tree: one step per level of a binary reduction.
+  const int steps =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
+  return static_cast<Duration>(steps) * params_.sw_step_latency;
+}
+
+Duration Fabric::multicastLatency() const {
+  if (params_.hw_multicast) {
+    return params_.mcast_base_latency +
+           static_cast<Duration>(tree_.levels()) * params_.hop_latency;
+  }
+  const int steps = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(std::max(num_nodes_, 2)))));
+  return static_cast<Duration>(steps) *
+         (params_.sw_step_latency + params_.wire_latency);
+}
+
+void Fabric::conditional(int src, std::vector<int> nodes,
+                         std::function<bool(int)> eval,
+                         std::function<void(int)> write,
+                         std::function<void(bool)> on_result) {
+  checkNode(src);
+  for (int d : nodes) checkNode(d);
+  ++stats_.conditionals;
+
+  const Duration lat = conditionalLatency(static_cast<int>(nodes.size()));
+  engine_.after(lat, [nodes = std::move(nodes), eval = std::move(eval),
+                      write = std::move(write),
+                      on_result = std::move(on_result)] {
+    bool all = true;
+    for (int n : nodes) {
+      if (!eval(n)) {
+        all = false;
+        break;
+      }
+    }
+    if (all && write) {
+      for (int n : nodes) write(n);
+    }
+    if (on_result) on_result(all);
+  });
+}
+
+}  // namespace bcs::net

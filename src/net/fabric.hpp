@@ -1,0 +1,126 @@
+#pragma once
+
+// The interconnect fabric: timing model for unicasts, multicasts and network
+// conditionals over a fat tree.
+//
+// The fabric is a *timing* oracle: callers pass callbacks and the fabric
+// invokes them at the simulated instants where the corresponding hardware
+// would raise its events.  Data movement itself (copying payload bytes into
+// destination buffers, signalling QsNet-style events) is layered on top by
+// the BCS core (src/bcs) — this keeps the fabric reusable for the baseline
+// MPI as well.
+//
+// Point-to-point cost model (LogGP-flavoured):
+//
+//     inject  = now + o_tx + pci_lat
+//     startTx = max(inject, egressFree[src]);  egress busy for G*S
+//     arrival = startTx + L(src,dst) + G*S     (cut-through pipe)
+//     deliver = max(arrival, ingressFree[dst] + G*S) + o_rx
+//
+// so an uncontended transfer costs o_tx + L + G*S + o_rx and endpoints
+// serialize under contention — the behaviour that matters for the paper's
+// nearest-neighbour and alltoall patterns.
+//
+// Hardware multicast occupies the source egress once and the switch fans the
+// packet out; per-destination delivery bandwidth comes from
+// NetworkParams::mcast_bandwidth.  Networks without hardware support fall
+// back to a binomial software tree of unicasts with a per-level software
+// step (sw_step_latency), which reproduces the 46/20 us-per-level rows of
+// the paper's Table 1.
+//
+// The network conditional evaluates a predicate on a node set at one
+// simulated instant and (optionally) writes a value back at that same
+// instant — this is what makes Compare-And-Write sequentially consistent.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/params.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace bcs::net {
+
+using sim::Duration;
+using sim::SimTime;
+
+/// Aggregate fabric statistics, for utilization reports and tests.
+struct FabricStats {
+  std::uint64_t unicasts = 0;
+  std::uint64_t multicasts = 0;
+  std::uint64_t conditionals = 0;
+  double payload_bytes = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, NetworkParams params, int num_nodes,
+         sim::Trace* trace = nullptr);
+
+  int numNodes() const { return num_nodes_; }
+  const NetworkParams& params() const { return params_; }
+  const FatTree& topology() const { return tree_; }
+
+  /// End-to-end first-bit latency between two nodes (no payload term).
+  Duration baseLatency(int src, int dst) const;
+
+  /// Sends `bytes` from src to dst.  `on_delivered` fires at the instant the
+  /// last byte (plus rx overhead) lands at dst; `on_injected` (optional)
+  /// fires when the source NIC egress is free again.
+  void unicast(int src, int dst, std::size_t bytes,
+               std::function<void()> on_delivered,
+               std::function<void()> on_injected = {});
+
+  /// Multicasts `bytes` from src to every node in `dests` (src excluded
+  /// automatically if present).  `on_delivered_at(node)` fires per
+  /// destination; `on_all` (optional) once after the last delivery.
+  void multicast(int src, std::vector<int> dests, std::size_t bytes,
+                 std::function<void(int)> on_delivered_at,
+                 std::function<void()> on_all = {});
+
+  /// Network conditional: at one instant T (= now + conditional latency),
+  /// evaluates eval(node) for each node in `nodes`; if all are true, runs
+  /// write(node) for each node at T.  on_result(all_true) also runs at T.
+  /// This is the substrate for Compare-And-Write.
+  void conditional(int src, std::vector<int> nodes,
+                   std::function<bool(int)> eval,
+                   std::function<void(int)> write,
+                   std::function<void(bool)> on_result);
+
+  /// Latency of one conditional round for `n` participating nodes.
+  Duration conditionalLatency(int n) const;
+
+  /// First-bit latency of a multicast reaching every destination.
+  Duration multicastLatency() const;
+
+  const FabricStats& stats() const { return stats_; }
+
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  struct Endpoint {
+    SimTime egress_free = 0;
+    SimTime ingress_free = 0;
+  };
+
+  void softwareMulticast(int src, const std::vector<int>& dests,
+                         std::size_t bytes,
+                         std::function<void(int)> on_delivered_at,
+                         std::function<void()> on_all);
+
+  void checkNode(int node) const;
+
+  sim::Engine& engine_;
+  NetworkParams params_;
+  int num_nodes_;
+  FatTree tree_;
+  std::vector<Endpoint> endpoints_;
+  sim::Trace* trace_;
+  FabricStats stats_;
+};
+
+}  // namespace bcs::net

@@ -1,0 +1,68 @@
+#pragma once
+
+// Network parameter sets.
+//
+// Every interconnect the paper mentions (Table 1) is described by one
+// NetworkParams value.  The BCS core primitives behave differently depending
+// on whether the network has *native* support for ordered multicast and
+// network conditionals (QsNet, BlueGene/L) or must emulate them with a
+// software tree (Gigabit Ethernet, Myrinet, Infiniband) — the per-level
+// software step latencies below are calibrated so that the measured
+// primitive costs land on the paper's Table 1 envelope:
+//
+//   network      Compare-And-Write        Xfer-And-Signal aggregate BW
+//   GigE         46 log2(n) us            (not available)
+//   Myrinet      20 log2(n) us            ~15n MB/s
+//   Infiniband   20 log2(n) us            (not available)
+//   QsNet        < 10 us                  > 150n MB/s
+//   BlueGene/L   < 2 us                   700n MB/s
+//
+// Bandwidths are stored in bytes/ns (== GB/s) to keep arithmetic in the
+// engine's native nanosecond unit.
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace bcs::net {
+
+using sim::Duration;
+
+struct NetworkParams {
+  std::string name;
+
+  // --- Point-to-point path ---
+  Duration wire_latency;      ///< Fixed end-to-end first-bit latency floor.
+  Duration hop_latency;       ///< Added per switch level crossed (x2, up+down).
+  Duration nic_tx_overhead;   ///< NIC-side processing to inject a message.
+  Duration nic_rx_overhead;   ///< NIC-side processing on delivery.
+  double link_bandwidth;      ///< bytes/ns per link.
+  double pci_bandwidth;       ///< bytes/ns host<->NIC (0 = not a bottleneck).
+  Duration pci_latency;       ///< DMA start-up across the host bus.
+  int radix = 4;              ///< Fat-tree switch radix (QsNet is quaternary).
+
+  // --- BCS core primitive support ---
+  bool hw_multicast = false;      ///< Ordered, reliable hardware multicast.
+  bool hw_conditional = false;    ///< Network conditional (query broadcast).
+  Duration mcast_base_latency;    ///< Native multicast first-bit latency.
+  Duration cond_base_latency;     ///< Native conditional round-trip.
+  Duration cond_hop_latency;      ///< Native conditional per-tree-level cost.
+  Duration sw_step_latency;       ///< Per-tree-level cost of *emulated* ops.
+  double mcast_bandwidth;         ///< bytes/ns delivered per destination.
+
+  /// Effective point-to-point payload bandwidth (link and host-bus in
+  /// series).
+  double effectiveBandwidth() const {
+    if (pci_bandwidth <= 0) return link_bandwidth;
+    return link_bandwidth < pci_bandwidth ? link_bandwidth : pci_bandwidth;
+  }
+
+  // Presets (constants documented in params.cpp with sources).
+  static NetworkParams qsnet();
+  static NetworkParams gigabitEthernet();
+  static NetworkParams myrinet();
+  static NetworkParams infiniband();
+  static NetworkParams bluegeneL();
+};
+
+}  // namespace bcs::net

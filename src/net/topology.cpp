@@ -1,0 +1,37 @@
+#include "net/topology.hpp"
+
+namespace bcs::net {
+
+FatTree::FatTree(int num_nodes, int radix)
+    : num_nodes_(num_nodes), radix_(radix) {
+  if (num_nodes <= 0) throw std::invalid_argument("FatTree: num_nodes <= 0");
+  if (radix < 2) throw std::invalid_argument("FatTree: radix < 2");
+  levels_ = 1;
+  long long capacity = radix_;
+  while (capacity < num_nodes_) {
+    capacity *= radix_;
+    ++levels_;
+  }
+}
+
+int FatTree::lcaLevel(int a, int b) const {
+  if (a < 0 || a >= num_nodes_ || b < 0 || b >= num_nodes_) {
+    throw std::out_of_range("FatTree::lcaLevel: node out of range");
+  }
+  if (a == b) return 0;
+  int level = 0;
+  int ga = a, gb = b;
+  while (ga != gb) {
+    ga /= radix_;
+    gb /= radix_;
+    ++level;
+  }
+  return level;
+}
+
+int FatTree::hops(int a, int b) const {
+  if (a == b) return 0;
+  return 2 * lcaLevel(a, b) - 1;
+}
+
+}  // namespace bcs::net

@@ -1,0 +1,37 @@
+#pragma once
+
+// Fat-tree topology helper.
+//
+// QsNet builds quaternary fat trees: nodes are leaves; each switch level
+// groups `radix` subtrees.  For timing we only need the number of switch
+// levels a message crosses (up to the lowest common ancestor and back down),
+// which this class computes from node indices.
+
+#include <stdexcept>
+
+namespace bcs::net {
+
+class FatTree {
+ public:
+  FatTree(int num_nodes, int radix);
+
+  int numNodes() const { return num_nodes_; }
+  int radix() const { return radix_; }
+  int levels() const { return levels_; }
+
+  /// Number of switch levels to the lowest common ancestor of a and b
+  /// (1 = same leaf switch).  a != b required.
+  int lcaLevel(int a, int b) const;
+
+  /// Switch hops crossed by a packet from a to b: up to the LCA and back
+  /// down (2 * lcaLevel - 1 links between switches + adapters folded into
+  /// per-hop cost by the caller).
+  int hops(int a, int b) const;
+
+ private:
+  int num_nodes_;
+  int radix_;
+  int levels_;
+};
+
+}  // namespace bcs::net

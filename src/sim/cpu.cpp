@@ -1,0 +1,151 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace bcs::sim {
+
+namespace {
+// Completion times are computed in floating point; treat anything below this
+// as "done now" to avoid re-arming zero-length events forever.
+constexpr double kEpsilonNs = 1e-6;
+}  // namespace
+
+CpuScheduler::CpuScheduler(Engine& engine, int num_cpus)
+    : engine_(engine), num_cpus_(num_cpus) {
+  if (num_cpus <= 0) throw SimError("CpuScheduler: need at least one CPU");
+}
+
+double CpuScheduler::rateFor(const Task& t, int active_daemons,
+                             int active_users) const {
+  if (!t.runnable || t.remaining_ns <= 0) return 0.0;
+  if (t.prio == Priority::kDaemon) {
+    // Each dæmon gets up to a full CPU; if there are more dæmons than CPUs
+    // they share all CPUs equally.
+    return std::min(1.0, static_cast<double>(num_cpus_) / active_daemons);
+  }
+  const double cpus_for_daemons =
+      std::min<double>(num_cpus_, active_daemons);
+  const double cpus_left = num_cpus_ - cpus_for_daemons;
+  if (cpus_left <= 0 || active_users == 0) return 0.0;
+  return std::min(1.0, cpus_left / active_users);
+}
+
+void CpuScheduler::countActive(int& daemons, int& users) const {
+  daemons = users = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (!t.runnable || t.remaining_ns <= 0) continue;
+    (t.prio == Priority::kDaemon ? daemons : users)++;
+  }
+}
+
+void CpuScheduler::account() {
+  // Credit service delivered since the last update at the *current* rates.
+  // Must be called BEFORE any mutation of the task set, so newly added or
+  // removed tasks never retroactively change past service.
+  const SimTime now = engine_.now();
+  int active_daemons = 0, active_users = 0;
+  countActive(active_daemons, active_users);
+  const double elapsed = static_cast<double>(now - last_update_);
+  if (elapsed > 0) {
+    for (auto& [id, t] : tasks_) {
+      const double rate = rateFor(t, active_daemons, active_users);
+      if (rate <= 0) continue;
+      const double served = std::min(t.remaining_ns, rate * elapsed);
+      t.remaining_ns -= served;
+      if (t.prio == Priority::kUser) user_delivered_ += served;
+    }
+  }
+  last_update_ = now;
+
+  // Fire completions for tasks that have drained (deterministic id order).
+  std::vector<std::uint64_t> finished;
+  for (auto& [id, t] : tasks_) {
+    if (t.remaining_ns <= kEpsilonNs) finished.push_back(id);
+  }
+  std::sort(finished.begin(), finished.end());
+  for (std::uint64_t id : finished) {
+    auto it = tasks_.find(id);
+    std::function<void()> done = std::move(it->second.done);
+    tasks_.erase(it);
+    if (done) engine_.at(now, std::move(done));
+  }
+}
+
+void CpuScheduler::rearm() {
+  if (pending_completion_.valid()) {
+    engine_.cancel(pending_completion_);
+    pending_completion_ = EventId{};
+  }
+  int active_daemons = 0, active_users = 0;
+  countActive(active_daemons, active_users);
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, t] : tasks_) {
+    const double rate = rateFor(t, active_daemons, active_users);
+    if (rate <= 0) continue;
+    soonest = std::min(soonest, t.remaining_ns / rate);
+  }
+  if (std::isfinite(soonest)) {
+    const auto delay =
+        static_cast<Duration>(std::ceil(std::max(soonest, 0.0)));
+    pending_completion_ = engine_.after(delay, [this] {
+      pending_completion_ = EventId{};
+      account();
+      rearm();
+    });
+  }
+}
+
+CpuTaskId CpuScheduler::submit(Duration work, Priority prio,
+                               std::function<void()> done) {
+  if (work < 0) throw SimError("CpuScheduler::submit: negative work");
+  account();
+  const std::uint64_t id = next_id_++;
+  if (work == 0) {
+    // Zero-length work completes immediately (deferred via the engine so
+    // completion ordering stays consistent with nonzero tasks).
+    if (done) engine_.at(engine_.now(), std::move(done));
+    rearm();
+    return CpuTaskId{id};
+  }
+  tasks_.emplace(id, Task{static_cast<double>(work), prio, /*runnable=*/true,
+                          std::move(done)});
+  rearm();
+  return CpuTaskId{id};
+}
+
+void CpuScheduler::cancel(CpuTaskId id) {
+  auto it = tasks_.find(id.id);
+  if (it == tasks_.end()) return;
+  account();
+  tasks_.erase(id.id);  // account() may already have completed+erased it
+  rearm();
+}
+
+void CpuScheduler::setRunnable(CpuTaskId id, bool runnable) {
+  auto it = tasks_.find(id.id);
+  if (it == tasks_.end()) return;
+  if (it->second.runnable == runnable) return;
+  account();
+  it = tasks_.find(id.id);
+  if (it != tasks_.end()) it->second.runnable = runnable;
+  rearm();
+}
+
+Duration CpuScheduler::remaining(CpuTaskId id) const {
+  auto it = tasks_.find(id.id);
+  if (it == tasks_.end()) return 0;
+  return static_cast<Duration>(std::ceil(it->second.remaining_ns));
+}
+
+int CpuScheduler::activeTasks() const {
+  int n = 0;
+  for (const auto& [id, t] : tasks_) {
+    if (t.runnable && t.remaining_ns > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace bcs::sim

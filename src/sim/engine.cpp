@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace bcs::sim {
+
+EventId Engine::at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw SimError("Engine::at: scheduling into the past (when=" +
+                   formatTime(when) + ", now=" + formatTime(now_) + ")");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  ++live_;
+  return EventId{seq};
+}
+
+EventId Engine::after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) throw SimError("Engine::after: negative delay");
+  return at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = callbacks_.find(id.seq);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // tombstone left by cancel()
+      continue;
+    }
+    heap_.pop();
+    now_ = top.when;
+    // Move the callback out before erasing so that the callback may freely
+    // schedule/cancel events (including re-entrantly growing callbacks_).
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Engine::run(SimTime until) {
+  while (!heap_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    Entry top = heap_.top();
+    if (callbacks_.find(top.seq) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    step();
+  }
+  if (now_ < until && until != INT64_MAX) now_ = until;
+  return now_;
+}
+
+}  // namespace bcs::sim

@@ -1,0 +1,98 @@
+#pragma once
+
+// The discrete-event engine at the heart of bcssim.
+//
+// Design notes
+// ------------
+//  * Single logical thread of control.  Event callbacks run to completion;
+//    when a callback resumes a fiber (see fiber.hpp) the engine thread blocks
+//    until that fiber yields again, so at any instant exactly one piece of
+//    model code is running.  This gives sequential consistency and bitwise
+//    reproducibility on any host, including the 1-core build machines.
+//  * Ties are broken by insertion order (a monotonically increasing sequence
+//    number), never by pointer values, so runs are deterministic.
+//  * Cancellation is O(log n) amortized: cancelled entries stay in the heap
+//    and are skipped when popped.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bcs::sim {
+
+/// Handle to a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+/// Thrown when the simulation reaches a state it cannot make progress from
+/// (e.g. every process blocked and no event pending) if the harness asked for
+/// deadlock detection, or on internal invariant violations.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The event engine.  Owns the clock and the pending-event queue.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  EventId at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
+  EventId after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or `until` is reached (whichever first).
+  /// Returns the time of the last processed event.
+  SimTime run(SimTime until = INT64_MAX);
+
+  /// Runs exactly one event if available.  Returns false if the queue is
+  /// empty.  Useful for fine-grained unit tests of the engine itself.
+  bool step();
+
+  /// Number of events currently pending (including not-yet-skipped
+  /// cancelled entries' live complement).
+  std::size_t pendingEvents() const { return live_; }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    // Min-heap: earliest time first; FIFO among equal times.
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // seq -> callback; erased on cancel, so heap entries with no callback are
+  // tombstones.
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace bcs::sim

@@ -1,0 +1,68 @@
+#include "sim/fiber.hpp"
+
+#include <utility>
+
+namespace bcs::sim {
+
+Fiber::Fiber(std::function<void()> body) : body_(std::move(body)) {}
+
+Fiber::~Fiber() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_) return;  // thread never launched
+    if (!finished_) {
+      // Ask the fiber to unwind: next yield() observes kill_ and throws.
+      kill_ = true;
+      turn_ = Turn::kFiber;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return turn_ == Turn::kEngine; });
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Fiber::resume() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished_) return;
+  if (!started_) {
+    started_ = true;
+    thread_ = std::thread([this] { threadMain(); });
+  }
+  turn_ = Turn::kFiber;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kEngine; });
+  if (error_) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+void Fiber::yield() {
+  std::unique_lock<std::mutex> lock(mu_);
+  turn_ = Turn::kEngine;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kFiber; });
+  if (kill_) throw FiberKilled{};
+}
+
+void Fiber::threadMain() {
+  {
+    // Wait for the first resume()'s baton (resume() sets turn_ before the
+    // thread starts, so this usually falls straight through).
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return turn_ == Turn::kFiber; });
+  }
+  try {
+    if (!kill_) body_();
+  } catch (const FiberKilled&) {
+    // Normal forced unwind; not an error.
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  finished_ = true;
+  turn_ = Turn::kEngine;
+  cv_.notify_all();
+}
+
+}  // namespace bcs::sim

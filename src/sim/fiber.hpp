@@ -1,0 +1,69 @@
+#pragma once
+
+// Fibers: blocking-style model code on top of the event engine.
+//
+// Application skeletons (SWEEP3D, NAS kernels, ...) are written as ordinary
+// C++ functions that call blocking MPI operations.  Each simulated process
+// runs on a Fiber — an OS thread that is baton-passed with the engine thread
+// so that exactly one of {engine, some fiber} executes at any instant.  This
+// preserves the determinism of the single-threaded engine while letting
+// model code keep a natural call stack (deeply nested blocking calls, as in
+// the wavefront codes, would be painful as hand-written state machines).
+//
+// Lifecycle:  the engine resumes a fiber; the fiber runs until it calls
+// yield() (typically via Process::block()) or returns; control then returns
+// to the engine.  A fiber destroyed before finishing is unwound by throwing
+// FiberKilled through its stack.
+
+#include <exception>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace bcs::sim {
+
+/// Thrown through a fiber's stack to unwind it on forced termination.
+/// Model code must not swallow this exception (catch(...) blocks must
+/// rethrow).
+struct FiberKilled {};
+
+class Fiber {
+ public:
+  /// Creates a fiber that will run `body` once first resumed.
+  explicit Fiber(std::function<void()> body);
+
+  /// Joins the underlying thread; force-unwinds the body if unfinished.
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it yields or finishes.  Must be called from the
+  /// engine side.  Rethrows any exception that escaped the fiber body.
+  void resume();
+
+  /// Suspends the calling fiber and returns control to the engine side.
+  /// Must be called from inside the fiber body.
+  void yield();
+
+  /// True once the body has returned (or was unwound).
+  bool finished() const { return finished_; }
+
+ private:
+  enum class Turn { kEngine, kFiber };
+
+  void threadMain();
+
+  std::function<void()> body_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::kEngine;
+  bool started_ = false;
+  bool finished_ = false;
+  bool kill_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace bcs::sim

@@ -1,0 +1,46 @@
+#include "sim/noise.hpp"
+
+namespace bcs::sim {
+
+NoiseInjector::NoiseInjector(Engine& engine, CpuScheduler& cpu,
+                             NoiseConfig config, std::uint64_t seed)
+    : engine_(engine), cpu_(cpu), config_(config), rng_(seed) {}
+
+void NoiseInjector::start(SimTime when) {
+  running_ = true;
+  Duration phase = 0;
+  if (!config_.coordinated && config_.period > 0) {
+    phase = static_cast<Duration>(
+        rng_.uniform() * static_cast<double>(config_.period));
+  }
+  const SimTime first = when + phase;
+  next_ = engine_.at(first < engine_.now() ? engine_.now() : first,
+                     [this] { fire(); });
+}
+
+void NoiseInjector::stop() {
+  running_ = false;
+  if (next_.valid()) {
+    engine_.cancel(next_);
+    next_ = EventId{};
+  }
+}
+
+void NoiseInjector::arm(Duration delay) {
+  if (!running_) return;
+  next_ = engine_.after(delay, [this] { fire(); });
+}
+
+void NoiseInjector::fire() {
+  next_ = EventId{};
+  if (!running_) return;
+  ++activations_;
+  cpu_.submit(config_.duration, CpuScheduler::Priority::kDaemon, nullptr);
+  double period = static_cast<double>(config_.period);
+  if (config_.jitter > 0) {
+    period *= rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+  }
+  arm(static_cast<Duration>(period));
+}
+
+}  // namespace bcs::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+// OS-noise injection.
+//
+// The paper's §4.5 notes that the user-level BCS-MPI prototype suffers from
+// uncoordinated OS scheduling of the Node Manager dæmon, and cites the
+// "missing supercomputer performance" effect [20]: periodic system dæmons
+// steal the CPU for hundreds of microseconds and, when uncoordinated across
+// nodes, their cost is amortized over *every* fine-grained compute step.
+//
+// NoiseInjector plants such a dæmon on a node: every `period` (with optional
+// per-node phase and jitter) it grabs one CPU for `duration`.  The
+// bench_ablation_noise harness uses it to show why *coscheduling* the system
+// activities — BCS's central idea — matters.
+
+#include <cstdint>
+
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::sim {
+
+struct NoiseConfig {
+  Duration period = msec(10);    ///< Mean time between dæmon activations.
+  Duration duration = usec(500); ///< CPU time consumed per activation.
+  double jitter = 0.1;           ///< Fractional uniform jitter on the period.
+  /// When true, all nodes fire in phase (coordinated/coscheduled dæmons —
+  /// the cure the paper proposes); when false each node gets a random phase
+  /// (the pathological case).
+  bool coordinated = false;
+};
+
+class NoiseInjector {
+ public:
+  NoiseInjector(Engine& engine, CpuScheduler& cpu, NoiseConfig config,
+                std::uint64_t seed);
+
+  /// Begins injecting at time `when` (plus per-node phase if uncoordinated).
+  void start(SimTime when);
+
+  /// Stops scheduling further activations (a running one finishes).
+  void stop();
+
+  std::uint64_t activations() const { return activations_; }
+
+ private:
+  void fire();
+  void arm(Duration delay);
+
+  Engine& engine_;
+  CpuScheduler& cpu_;
+  NoiseConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  EventId next_{};
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace bcs::sim

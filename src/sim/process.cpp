@@ -1,0 +1,73 @@
+#include "sim/process.hpp"
+
+#include <utility>
+
+namespace bcs::sim {
+
+Process::Process(Engine& engine, CpuScheduler& cpu, int node, std::string name,
+                 Body body)
+    : engine_(engine),
+      cpu_(cpu),
+      node_(node),
+      name_(std::move(name)),
+      body_(std::move(body)) {
+  fiber_ = std::make_unique<Fiber>([this] { body_(*this); });
+}
+
+void Process::start(SimTime when) {
+  engine_.at(when, [this] { resumeFromEngine(); });
+}
+
+void Process::resumeFromEngine() {
+  if (!fiber_ || fiber_->finished()) return;
+  fiber_->resume();
+}
+
+void Process::compute(Duration work) {
+  if (work <= 0) return;
+  total_compute_ += work;
+  // Predicate loop, not a bare block(): a spurious wake() (e.g. a runtime
+  // waking every blocked-or-not process at a slice boundary) may bank a
+  // permit, and compute() must not return before its own task finished.
+  bool done = false;
+  current_task_ = cpu_.submit(work, CpuScheduler::Priority::kUser, [this, &done] {
+    done = true;
+    wake();
+  });
+  if (frozen_) cpu_.setRunnable(current_task_, false);
+  try {
+    while (!done) block();
+  } catch (...) {
+    // Forced unwind (FiberKilled): the completion callback captures this
+    // frame, so it must not fire afterwards.
+    cpu_.cancel(current_task_);
+    current_task_ = CpuTaskId{};
+    throw;
+  }
+  current_task_ = CpuTaskId{};
+}
+
+void Process::block() {
+  if (permits_ > 0) {
+    --permits_;
+    return;
+  }
+  blocked_ = true;
+  fiber_->yield();
+}
+
+void Process::wake() {
+  if (blocked_) {
+    blocked_ = false;
+    engine_.at(engine_.now(), [this] { resumeFromEngine(); });
+  } else {
+    ++permits_;
+  }
+}
+
+void Process::setComputeFrozen(bool frozen) {
+  frozen_ = frozen;
+  if (current_task_.valid()) cpu_.setRunnable(current_task_, !frozen);
+}
+
+}  // namespace bcs::sim

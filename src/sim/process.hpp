@@ -1,0 +1,96 @@
+#pragma once
+
+// A simulated application process: a fiber bound to a node's CPU scheduler.
+//
+// Model code inside the process body may call:
+//   * compute(work)  — consume CPU time (subject to dæmon preemption and
+//                      gang-scheduling freezes on that node's scheduler);
+//   * block()/wake() — suspend until some other component (NIC thread,
+//                      runtime, peer process) wakes it.
+//
+// wake() never resumes the fiber inline; it schedules an engine event at the
+// current time, so it is safe to call from anywhere (including from another
+// fiber's stack) without re-entering the engine.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::sim {
+
+class Process {
+ public:
+  using Body = std::function<void(Process&)>;
+
+  /// `node` is informational (used by traces and by the MPI layers to find
+  /// the right NIC).  `name` appears in deadlock reports.
+  Process(Engine& engine, CpuScheduler& cpu, int node, std::string name,
+          Body body);
+  ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Schedules the first resume of the process at time `when`.
+  void start(SimTime when);
+
+  // ----- Fiber-side API (call only from inside the body) -----
+
+  /// Consumes `work` ns of CPU.  Returns when the work has been serviced.
+  void compute(Duration work);
+
+  /// Suspends until wake() is called.  If wake() already happened since the
+  /// last block() (a "permit" is pending), returns immediately.
+  void block();
+
+  /// Current simulated time (convenience passthrough).
+  SimTime now() const { return engine_.now(); }
+
+  // ----- Engine-side API -----
+
+  /// Wakes a blocked process (or banks a permit if it is not blocked yet).
+  void wake();
+
+  /// Freezes / unfreezes the process's current compute task, if any
+  /// (gang scheduling).  Also freezes future compute() calls until unfrozen.
+  void setComputeFrozen(bool frozen);
+
+  bool finished() const { return fiber_ && fiber_->finished(); }
+  bool blocked() const { return blocked_; }
+
+  /// True while the process is inside compute() (its fiber is suspended,
+  /// but it is waiting for CPU service, not for an external event) — i.e.
+  /// it can use CPU time if scheduled.
+  bool computing() const { return current_task_.valid(); }
+  int node() const { return node_; }
+  const std::string& name() const { return name_; }
+
+  /// Total CPU work this process has requested via compute() — used by
+  /// tests to check that gang scheduling does not lose work.
+  Duration totalComputeRequested() const { return total_compute_; }
+
+  Engine& engine() { return engine_; }
+
+ private:
+  void resumeFromEngine();
+
+  Engine& engine_;
+  CpuScheduler& cpu_;
+  int node_;
+  std::string name_;
+  Body body_;
+  std::unique_ptr<Fiber> fiber_;
+  bool blocked_ = false;
+  int permits_ = 0;
+  bool frozen_ = false;
+  CpuTaskId current_task_{};
+  Duration total_compute_ = 0;
+};
+
+}  // namespace bcs::sim

@@ -1,0 +1,25 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace bcs::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF; guard the log argument away from zero.
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller transform.  One value per call keeps the generator stateless
+  // with respect to caller interleaving (important for determinism when the
+  // same Rng is shared by several model components).
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(6.28318530717958647692 * u2);
+}
+
+}  // namespace bcs::sim

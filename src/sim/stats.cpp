@@ -1,0 +1,82 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bcs::sim {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / buckets) {
+  if (buckets <= 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: bad range/bucket count");
+  }
+  counts_.assign(static_cast<std::size_t>(buckets) + 2, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+  } else if (x >= hi_) {
+    ++counts_.back();
+  } else {
+    const auto b = static_cast<std::size_t>((x - lo_) / bucket_width_);
+    ++counts_[1 + std::min(b, counts_.size() - 3)];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i == 0) return lo_;
+      if (i == counts_.size() - 1) return hi_;
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i - 1) + frac) * bucket_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 1; i + 1 < counts_.size(); ++i) {
+    const double b_lo = lo_ + static_cast<double>(i - 1) * bucket_width_;
+    const int bar = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * width);
+    std::snprintf(line, sizeof(line), "%12.3f | %-*s %llu\n", b_lo, width,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bcs::sim

@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bcs::sim {
+
+std::string formatTime(SimTime t) {
+  char buf[64];
+  const double abs_t = std::abs(static_cast<double>(t));
+  if (abs_t < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  } else if (abs_t < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(t) / 1e3);
+  } else if (abs_t < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(t) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f s", static_cast<double>(t) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace bcs::sim

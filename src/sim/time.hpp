@@ -1,0 +1,45 @@
+#pragma once
+
+// Simulated-time primitives for the bcssim discrete-event engine.
+//
+// All simulated time is kept in signed 64-bit nanoseconds.  A signed type is
+// deliberate: durations are frequently subtracted and intermediate negative
+// values must not wrap.  2^63 ns is ~292 years of simulated time, far beyond
+// any experiment in this repository.
+
+#include <cstdint>
+#include <string>
+
+namespace bcs::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+/// Nanoseconds (identity; exists for symmetry and call-site clarity).
+constexpr Duration nsec(double n) { return static_cast<Duration>(n); }
+
+/// Microseconds to nanoseconds.
+constexpr Duration usec(double us) { return static_cast<Duration>(us * 1e3); }
+
+/// Milliseconds to nanoseconds.
+constexpr Duration msec(double ms) { return static_cast<Duration>(ms * 1e6); }
+
+/// Seconds to nanoseconds.
+constexpr Duration sec(double s) { return static_cast<Duration>(s * 1e9); }
+
+/// Nanoseconds to microseconds (floating point, for reporting).
+constexpr double toUsec(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Nanoseconds to milliseconds (floating point, for reporting).
+constexpr double toMsec(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Nanoseconds to seconds (floating point, for reporting).
+constexpr double toSec(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/// Human-readable rendering ("12.5 us", "3.2 ms", ...) for logs and traces.
+std::string formatTime(SimTime t);
+
+}  // namespace bcs::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+// Lightweight event tracing.
+//
+// The BCS paper argues that global coordination makes the system "much
+// simpler to ... debug and model"; the trace facility is how this repository
+// demonstrates that: every microstrobe, descriptor exchange, match and DMA
+// can be recorded and asserted on in tests.  Tracing is off by default and
+// costs one branch per record when disabled.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bcs::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kEngine,
+  kCpu,
+  kNet,
+  kBcsCore,
+  kStrobe,      // SS/SR microstrobes and microphase transitions
+  kDescriptor,  // descriptor post/exchange/match
+  kDma,         // point-to-point payload movement
+  kCollective,  // CH/RH activity
+  kStorm,       // MM/NM resource-management traffic
+  kApp,
+};
+
+const char* traceCategoryName(TraceCategory c);
+
+struct TraceRecord {
+  SimTime time;
+  TraceCategory category;
+  int node;  // -1 when not node-specific
+  std::string message;
+};
+
+class Trace {
+ public:
+  /// Enables collection (optionally mirrored to stderr for live debugging).
+  void enable(bool echo_to_stderr = false);
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(SimTime t, TraceCategory cat, int node, std::string msg);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records matching a predicate — handy in protocol tests.
+  std::size_t count(const std::function<bool(const TraceRecord&)>& pred) const;
+
+  /// Renders all records as text ("[time] CATEGORY node: message").
+  std::string dump() const;
+
+ private:
+  bool enabled_ = false;
+  bool echo_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace bcs::sim

@@ -1,0 +1,331 @@
+#include "softfloat/softfloat.hpp"
+
+#include <bit>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+namespace bcs::sf {
+namespace {
+
+// Generic IEEE-754 implementation parameterized over the format.  The two
+// instantiations (binary32, binary64) share all logic; `DUint` must hold a
+// full significand product (64-bit for binary32, 128-bit for binary64).
+template <typename Uint, typename DUint, int kBits, int kExpBits>
+struct Ieee {
+  static constexpr int kFracBits = kBits - 1 - kExpBits;
+  static constexpr int kExpMax = (1 << kExpBits) - 1;
+  static constexpr Uint kFracMask = (Uint{1} << kFracBits) - 1;
+  static constexpr Uint kSignMask = Uint{1} << (kBits - 1);
+  // Quiet NaN with the conventional payload (exp all-ones, top frac bit).
+  static constexpr Uint kQNaN =
+      (Uint{kExpMax} << kFracBits) | (Uint{1} << (kFracBits - 1)) | kSignMask;
+
+  static constexpr bool sign(Uint x) { return (x >> (kBits - 1)) != 0; }
+  static constexpr int exp(Uint x) {
+    return static_cast<int>((x >> kFracBits) & kExpMax);
+  }
+  static constexpr Uint frac(Uint x) { return x & kFracMask; }
+  static constexpr bool isNaN(Uint x) {
+    return exp(x) == kExpMax && frac(x) != 0;
+  }
+  static constexpr bool isInf(Uint x) {
+    return exp(x) == kExpMax && frac(x) == 0;
+  }
+  static constexpr bool isZero(Uint x) { return (x & ~kSignMask) == 0; }
+  static constexpr Uint inf(bool s) {
+    return (s ? kSignMask : Uint{0}) | (Uint{kExpMax} << kFracBits);
+  }
+  static constexpr Uint zero(bool s) { return s ? kSignMask : Uint{0}; }
+
+  /// Assembles a raw encoding.  `f` may carry a bit at position kFracBits
+  /// when e == 0 (a subnormal sum that reached 1.0: the addition carries
+  /// into the exponent field and yields the smallest normal, which is the
+  /// correct encoding).  For e > 0 callers pass f < 2^kFracBits.
+  static constexpr Uint assemble(bool s, int e, Uint f) {
+    return (s ? kSignMask : Uint{0}) +
+           (static_cast<Uint>(e) << kFracBits) + f;
+  }
+
+  /// Right-shift with sticky: any bit shifted out sets bit 0 of the result.
+  static constexpr Uint shiftRightJam(Uint x, int count) {
+    if (count == 0) return x;
+    if (count >= kBits) return x != 0 ? Uint{1} : Uint{0};
+    const Uint out = x >> count;
+    const Uint lost = x & ((Uint{1} << count) - 1);
+    return out | (lost != 0 ? Uint{1} : Uint{0});
+  }
+
+  /// Rounds (to nearest even) and packs a result.
+  ///
+  /// Input convention: `sig` carries 3 extra low bits (guard/round/sticky)
+  /// and — for normal results — its leading 1 sits at bit kFracBits + 3.
+  /// `e` is the *stored* biased exponent that leading-bit position
+  /// represents, i.e. value = (-1)^s * 2^(e - bias) * sig / 2^(kFracBits+3).
+  static Uint roundAndPack(bool s, int e, Uint sig) {
+    if (e <= 0) {
+      // Result falls in the subnormal range: shift into subnormal scale
+      // (effective exponent 1) before rounding so rounding is done at the
+      // correct bit position.
+      sig = shiftRightJam(sig, 1 - e);
+      e = 0;
+    }
+    const Uint grs = sig & 7;
+    sig >>= 3;
+    if (grs > 4 || (grs == 4 && (sig & 1))) ++sig;  // nearest-even
+    if (sig == 0) return zero(s);
+    if (sig >> (kFracBits + 1)) {
+      // Round-up carried out of the significand (1.11..1 -> 10.00..0).
+      sig >>= 1;
+      ++e;
+    }
+    if (e == 0) {
+      // Subnormal; if rounding produced the implicit bit, assemble() turns
+      // it into the smallest normal.
+      return assemble(s, 0, sig);
+    }
+    if (e >= kExpMax) return inf(s);  // overflow, round-to-nearest -> Inf
+    return assemble(s, e, sig & kFracMask);
+  }
+
+  /// Normalizes a subnormal input significand; returns the shift applied.
+  static int normalizeSubnormal(Uint& sig) {
+    const int lz = std::countl_zero(sig) - (std::numeric_limits<Uint>::digits -
+                                            (kFracBits + 1));
+    sig <<= lz;
+    return lz;
+  }
+
+  static Uint propagateNaN(Uint a, Uint b) {
+    // Quiet whichever NaN we have (payload preservation à la SoftFloat is
+    // not required by IEEE; we return the canonical quiet NaN).
+    (void)a;
+    (void)b;
+    return kQNaN;
+  }
+
+  // ---- addition of magnitudes (signs equal) ----
+  static Uint addMags(Uint a, Uint b, bool s) {
+    int ea = exp(a), eb = exp(b);
+    Uint sa = frac(a), sb = frac(b);
+    if (ea < eb) {
+      std::swap(ea, eb);
+      std::swap(sa, sb);
+    }
+    if (ea == kExpMax) {
+      if (sa != 0 || (eb == kExpMax && sb != 0)) return propagateNaN(a, b);
+      return inf(s);
+    }
+    // Attach implicit bits and 3 GRS bits.
+    if (ea == 0) {
+      // Both subnormal: trivially aligned; a carry into bit kFracBits makes
+      // the smallest normal via assemble().
+      return assemble(s, 0, sa + sb);
+    }
+    sa = (sa | (Uint{1} << kFracBits)) << 3;
+    if (eb == 0) {
+      sb <<= 3;
+      ++eb;  // subnormals have effective exponent 1
+    } else {
+      sb = (sb | (Uint{1} << kFracBits)) << 3;
+    }
+    sb = shiftRightJam(sb, ea - eb);
+    Uint sum = sa + sb;
+    if (sum & (Uint{1} << (kFracBits + 4))) {
+      sum = shiftRightJam(sum, 1);
+      ++ea;
+    }
+    return roundAndPack(s, ea, sum);
+  }
+
+  // ---- subtraction of magnitudes (signs differ; result sign resolved) ----
+  static Uint subMags(Uint a, Uint b, bool s) {
+    int ea = exp(a), eb = exp(b);
+    Uint sa = frac(a), sb = frac(b);
+
+    if (ea == kExpMax) {
+      if (sa != 0) return propagateNaN(a, b);
+      if (eb == kExpMax) {
+        return sb != 0 ? propagateNaN(a, b) : kQNaN;  // Inf - Inf
+      }
+      return inf(s);
+    }
+    if (eb == kExpMax) {
+      return sb != 0 ? propagateNaN(a, b) : inf(!s);
+    }
+
+    bool flip = false;
+    if (ea < eb || (ea == eb && sa < sb)) {
+      std::swap(ea, eb);
+      std::swap(sa, sb);
+      flip = true;
+    } else if (ea == eb && sa == sb) {
+      return zero(false);  // exact cancellation -> +0 (round-to-nearest)
+    }
+    const bool rs = flip ? !s : s;
+
+    if (ea == 0) {
+      // Both subnormal.
+      return assemble(rs, 0, sa - sb);
+    }
+    sa = (sa | (Uint{1} << kFracBits)) << 3;
+    if (eb == 0) {
+      sb <<= 3;
+      ++eb;
+    } else {
+      sb = (sb | (Uint{1} << kFracBits)) << 3;
+    }
+    sb = shiftRightJam(sb, ea - eb);
+    Uint diff = sa - sb;
+    // Normalize left.
+    const int lz = std::countl_zero(diff) -
+                   (std::numeric_limits<Uint>::digits - (kFracBits + 4));
+    diff <<= lz;
+    ea -= lz;
+    return roundAndPack(rs, ea, diff);
+  }
+
+  static Uint add(Uint a, Uint b) {
+    if (sign(a) == sign(b)) return addMags(a, b, sign(a));
+    return subMags(a, b, sign(a));
+  }
+
+  static Uint sub(Uint a, Uint b) { return add(a, b ^ kSignMask); }
+
+  static Uint mul(Uint a, Uint b) {
+    const bool s = sign(a) != sign(b);
+    int ea = exp(a), eb = exp(b);
+    Uint sa = frac(a), sb = frac(b);
+
+    if (ea == kExpMax || eb == kExpMax) {
+      if (isNaN(a) || isNaN(b)) return propagateNaN(a, b);
+      if ((isInf(a) && isZero(b)) || (isInf(b) && isZero(a))) return kQNaN;
+      return inf(s);
+    }
+    if (sa == 0 && ea == 0) return zero(s);
+    if (sb == 0 && eb == 0) return zero(s);
+
+    if (ea == 0) {
+      ea = 1 - normalizeSubnormal(sa);
+      sa &= kFracMask;  // normalizeSubnormal leaves the implicit bit set
+      sa |= Uint{1} << kFracBits;
+    } else {
+      sa |= Uint{1} << kFracBits;
+    }
+    if (eb == 0) {
+      eb = 1 - normalizeSubnormal(sb);
+      sb &= kFracMask;
+      sb |= Uint{1} << kFracBits;
+    } else {
+      sb |= Uint{1} << kFracBits;
+    }
+
+    // Product of two (kFracBits+1)-bit significands: 2*kFracBits+1 or +2
+    // bits.  Keep kFracBits+4 bits (leading 1 at bit kFracBits+3) with
+    // sticky.
+    int e = ea + eb - ((1 << (kExpBits - 1)) - 1);  // unbias once
+    DUint prod = static_cast<DUint>(sa) * static_cast<DUint>(sb);
+    // Leading 1 of prod is at bit 2*kFracBits or 2*kFracBits+1.
+    const int target = kFracBits + 3;
+    int lead = 2 * kFracBits;
+    if (prod >> (2 * kFracBits + 1)) {
+      lead = 2 * kFracBits + 1;
+      ++e;
+    }
+    const int drop = lead - target;
+    Uint sig;
+    if (drop > 0) {
+      const DUint lost = prod & ((DUint{1} << drop) - 1);
+      sig = static_cast<Uint>(prod >> drop) | (lost != 0 ? Uint{1} : Uint{0});
+    } else {
+      sig = static_cast<Uint>(prod << -drop);
+    }
+    return roundAndPack(s, e, sig);
+  }
+
+  // ---- comparisons ----
+  static bool eq(Uint a, Uint b) {
+    if (isNaN(a) || isNaN(b)) return false;
+    if (isZero(a) && isZero(b)) return true;  // -0 == +0
+    return a == b;
+  }
+
+  static bool lt(Uint a, Uint b) {
+    if (isNaN(a) || isNaN(b)) return false;
+    const bool sa = sign(a), sb = sign(b);
+    if (isZero(a) && isZero(b)) return false;
+    if (sa != sb) return sa;
+    if (sa) return (a & ~kSignMask) > (b & ~kSignMask);
+    return a < b;
+  }
+
+  static bool le(Uint a, Uint b) {
+    if (isNaN(a) || isNaN(b)) return false;
+    return eq(a, b) || lt(a, b);
+  }
+
+  // minNum/maxNum (IEEE 754-2008 §5.3.1): a quiet NaN operand is treated as
+  // missing data, so min(NaN, x) == x.
+  static Uint minNum(Uint a, Uint b) {
+    if (isNaN(a)) return isNaN(b) ? kQNaN : b;
+    if (isNaN(b)) return a;
+    return lt(b, a) ? b : a;
+  }
+  static Uint maxNum(Uint a, Uint b) {
+    if (isNaN(a)) return isNaN(b) ? kQNaN : b;
+    if (isNaN(b)) return a;
+    return lt(a, b) ? b : a;
+  }
+
+  /// Exact-when-possible signed-integer conversion (round-to-nearest-even).
+  template <typename Int>
+  static Uint fromInt(Int v) {
+    if (v == 0) return 0;
+    const bool s = v < 0;
+    using UInt = std::make_unsigned_t<Int>;
+    UInt mag = s ? UInt(0) - static_cast<UInt>(v) : static_cast<UInt>(v);
+    const int top = std::numeric_limits<UInt>::digits - 1 -
+                    std::countl_zero(mag);
+    int e = ((1 << (kExpBits - 1)) - 1) + top;
+    // Position the leading 1 at bit kFracBits+3 (our rounding format).
+    const int target = kFracBits + 3;
+    Uint sig;
+    if (top <= target) {
+      sig = static_cast<Uint>(static_cast<DUint>(mag) << (target - top));
+    } else {
+      const int drop = top - target;
+      const UInt lost = mag & ((UInt{1} << drop) - 1);
+      sig = static_cast<Uint>(mag >> drop) | (lost != 0 ? Uint{1} : Uint{0});
+    }
+    return roundAndPack(s, e, sig);
+  }
+};
+
+using F32 = Ieee<std::uint32_t, std::uint64_t, 32, 8>;
+using F64 = Ieee<std::uint64_t, unsigned __int128, 64, 11>;
+
+}  // namespace
+
+std::uint32_t f32_add(std::uint32_t a, std::uint32_t b) { return F32::add(a, b); }
+std::uint32_t f32_sub(std::uint32_t a, std::uint32_t b) { return F32::sub(a, b); }
+std::uint32_t f32_mul(std::uint32_t a, std::uint32_t b) { return F32::mul(a, b); }
+bool f32_eq(std::uint32_t a, std::uint32_t b) { return F32::eq(a, b); }
+bool f32_lt(std::uint32_t a, std::uint32_t b) { return F32::lt(a, b); }
+bool f32_le(std::uint32_t a, std::uint32_t b) { return F32::le(a, b); }
+std::uint32_t f32_min(std::uint32_t a, std::uint32_t b) { return F32::minNum(a, b); }
+std::uint32_t f32_max(std::uint32_t a, std::uint32_t b) { return F32::maxNum(a, b); }
+std::uint32_t f32_from_i32(std::int32_t v) { return F32::fromInt(v); }
+bool f32_is_nan(std::uint32_t a) { return F32::isNaN(a); }
+
+std::uint64_t f64_add(std::uint64_t a, std::uint64_t b) { return F64::add(a, b); }
+std::uint64_t f64_sub(std::uint64_t a, std::uint64_t b) { return F64::sub(a, b); }
+std::uint64_t f64_mul(std::uint64_t a, std::uint64_t b) { return F64::mul(a, b); }
+bool f64_eq(std::uint64_t a, std::uint64_t b) { return F64::eq(a, b); }
+bool f64_lt(std::uint64_t a, std::uint64_t b) { return F64::lt(a, b); }
+bool f64_le(std::uint64_t a, std::uint64_t b) { return F64::le(a, b); }
+std::uint64_t f64_min(std::uint64_t a, std::uint64_t b) { return F64::minNum(a, b); }
+std::uint64_t f64_max(std::uint64_t a, std::uint64_t b) { return F64::maxNum(a, b); }
+std::uint64_t f64_from_i64(std::int64_t v) { return F64::fromInt(v); }
+bool f64_is_nan(std::uint64_t a) { return F64::isNaN(a); }
+
+}  // namespace bcs::sf

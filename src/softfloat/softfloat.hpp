@@ -1,0 +1,79 @@
+#pragma once
+
+// IEEE-754 software floating point (binary32 / binary64).
+//
+// The paper's Reduce Helper computes MPI reductions *on the NIC*, and the
+// QsNet Elan3 NIC has no floating-point unit, so the original system used
+// John Hauser's SoftFloat.  This is a from-scratch, self-contained
+// equivalent: pure integer implementations of addition, subtraction,
+// multiplication, comparison and min/max with round-to-nearest-even,
+// covering NaNs, infinities, signed zeros and subnormals.
+//
+// The interface works on raw bit patterns (uint32_t/uint64_t) exactly like
+// SoftFloat; thin wrappers taking float/double (via bit_cast) are provided
+// for convenience and for differential testing against the host FPU.
+
+#include <bit>
+#include <cstdint>
+
+namespace bcs::sf {
+
+// ---- binary32 ----
+std::uint32_t f32_add(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_sub(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_mul(std::uint32_t a, std::uint32_t b);
+bool f32_eq(std::uint32_t a, std::uint32_t b);  ///< IEEE ==: NaN compares false.
+bool f32_lt(std::uint32_t a, std::uint32_t b);  ///< IEEE <:  NaN compares false.
+bool f32_le(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_min(std::uint32_t a, std::uint32_t b);  ///< minNum semantics.
+std::uint32_t f32_max(std::uint32_t a, std::uint32_t b);  ///< maxNum semantics.
+std::uint32_t f32_from_i32(std::int32_t v);
+bool f32_is_nan(std::uint32_t a);
+
+// ---- binary64 ----
+std::uint64_t f64_add(std::uint64_t a, std::uint64_t b);
+std::uint64_t f64_sub(std::uint64_t a, std::uint64_t b);
+std::uint64_t f64_mul(std::uint64_t a, std::uint64_t b);
+bool f64_eq(std::uint64_t a, std::uint64_t b);
+bool f64_lt(std::uint64_t a, std::uint64_t b);
+bool f64_le(std::uint64_t a, std::uint64_t b);
+std::uint64_t f64_min(std::uint64_t a, std::uint64_t b);
+std::uint64_t f64_max(std::uint64_t a, std::uint64_t b);
+std::uint64_t f64_from_i64(std::int64_t v);
+bool f64_is_nan(std::uint64_t a);
+
+// ---- convenience wrappers over native types (testing / reduce kernels) ----
+inline float addf(float a, float b) {
+  return std::bit_cast<float>(
+      f32_add(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b)));
+}
+inline float mulf(float a, float b) {
+  return std::bit_cast<float>(
+      f32_mul(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b)));
+}
+inline float minf(float a, float b) {
+  return std::bit_cast<float>(
+      f32_min(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b)));
+}
+inline float maxf(float a, float b) {
+  return std::bit_cast<float>(
+      f32_max(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b)));
+}
+inline double addd(double a, double b) {
+  return std::bit_cast<double>(
+      f64_add(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)));
+}
+inline double muld(double a, double b) {
+  return std::bit_cast<double>(
+      f64_mul(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)));
+}
+inline double mind(double a, double b) {
+  return std::bit_cast<double>(
+      f64_min(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)));
+}
+inline double maxd(double a, double b) {
+  return std::bit_cast<double>(
+      f64_max(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)));
+}
+
+}  // namespace bcs::sf

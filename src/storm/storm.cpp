@@ -1,0 +1,203 @@
+#include "storm/storm.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace bcs::storm {
+
+Storm::Storm(net::Cluster& cluster, StormConfig config)
+    : cluster_(cluster),
+      config_(config),
+      core_(cluster.fabric(), &cluster.trace()),
+      node_info_(static_cast<std::size_t>(cluster.numComputeNodes())) {
+  launch_var_ = core_.allocVar("storm_launch", 0);
+  hb_var_ = core_.allocVar("storm_heartbeat", 0);
+}
+
+// ---------------------------------------------------------------------------
+// Resource accounting
+// ---------------------------------------------------------------------------
+
+std::vector<int> Storm::allocate(int nprocs, int per_node,
+                                 Placement placement) {
+  std::vector<int> node_of_rank;
+  node_of_rank.reserve(static_cast<std::size_t>(nprocs));
+  if (placement == Placement::kPack) {
+    for (int n = 0; n < cluster_.numComputeNodes() &&
+                    static_cast<int>(node_of_rank.size()) < nprocs;
+         ++n) {
+      NodeInfo& info = node_info_[static_cast<std::size_t>(n)];
+      if (info.marked_dead) continue;
+      while (info.used_slots < per_node &&
+             static_cast<int>(node_of_rank.size()) < nprocs) {
+        ++info.used_slots;
+        node_of_rank.push_back(n);
+      }
+    }
+  } else {
+    // Round-robin passes: one slot per node per pass.
+    for (int pass = 0; pass < per_node &&
+                       static_cast<int>(node_of_rank.size()) < nprocs;
+         ++pass) {
+      for (int n = 0; n < cluster_.numComputeNodes() &&
+                      static_cast<int>(node_of_rank.size()) < nprocs;
+           ++n) {
+        NodeInfo& info = node_info_[static_cast<std::size_t>(n)];
+        if (info.marked_dead || info.used_slots >= per_node) continue;
+        if (info.used_slots > pass) continue;  // already filled this pass
+        ++info.used_slots;
+        node_of_rank.push_back(n);
+      }
+    }
+  }
+  if (static_cast<int>(node_of_rank.size()) < nprocs) {
+    // Roll back the partial allocation before failing.
+    release(node_of_rank);
+    throw sim::SimError("Storm::allocate: not enough free slots for " +
+                        std::to_string(nprocs) + " processes");
+  }
+  return node_of_rank;
+}
+
+void Storm::release(const std::vector<int>& node_of_rank) {
+  for (int n : node_of_rank) {
+    NodeInfo& info = node_info_.at(static_cast<std::size_t>(n));
+    if (info.used_slots > 0) --info.used_slots;
+  }
+}
+
+int Storm::usedSlots(int node) const {
+  return node_info_.at(static_cast<std::size_t>(node)).used_slots;
+}
+
+// ---------------------------------------------------------------------------
+// Job launch
+// ---------------------------------------------------------------------------
+
+void Storm::launchImage(const std::vector<int>& nodes,
+                        std::size_t binary_bytes, int procs_per_node,
+                        std::function<void(SimTime)> on_launched) {
+  const int mgmt = cluster_.managementNode();
+  const std::int64_t seq = ++launch_seq_;
+  const SimTime t0 = cluster_.engine().now();
+
+  cluster_.trace().record(t0, sim::TraceCategory::kStorm, mgmt,
+                          "launch: " + std::to_string(binary_bytes) +
+                              "B image to " + std::to_string(nodes.size()) +
+                              " node(s)");
+
+  // MM prepares the command, then one hardware multicast carries the whole
+  // image; each NM forks its processes and acknowledges via the global
+  // launch variable.
+  cluster_.engine().after(config_.mm_dispatch_overhead, [this, nodes,
+                                                         binary_bytes,
+                                                         procs_per_node, seq,
+                                                         t0, mgmt,
+                                                         on_launched] {
+    core::XferRequest xfer;
+    xfer.src_node = mgmt;
+    xfer.dest_nodes = nodes;
+    xfer.bytes = binary_bytes;
+    xfer.deliver = [this, seq, procs_per_node](int node) {
+      const Duration spawn =
+          config_.nm_spawn_overhead * std::max(procs_per_node, 1);
+      cluster_.engine().after(spawn, [this, node, seq] {
+        core_.writeVarLocal(node, launch_var_, seq);
+      });
+    };
+    core_.xferAndSignal(std::move(xfer));
+
+    // MM polls global readiness with Compare-And-Write.
+    auto poll = std::make_shared<std::function<void()>>();
+    *poll = [this, nodes, seq, t0, mgmt, on_launched, poll] {
+      core::CompareAndWriteRequest req;
+      req.src_node = mgmt;
+      req.nodes = nodes;
+      req.var = launch_var_;
+      req.op = core::CmpOp::kGE;
+      req.value = seq;
+      core_.compareAndWriteAsync(std::move(req), [this, t0, on_launched,
+                                                  poll](bool ready) {
+        if (ready) {
+          if (on_launched) on_launched(cluster_.engine().now() - t0);
+        } else {
+          cluster_.engine().after(config_.launch_poll_interval, *poll);
+        }
+      });
+    };
+    (*poll)();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+void Storm::startHeartbeats() {
+  if (heartbeats_on_) return;
+  heartbeats_on_ = true;
+  heartbeatRound();
+}
+
+void Storm::stopHeartbeats() { heartbeats_on_ = false; }
+
+void Storm::heartbeatRound() {
+  if (!heartbeats_on_) return;
+  const int mgmt = cluster_.managementNode();
+  const std::int64_t seq = ++hb_seq_;
+  ++hb_sent_;
+
+  std::vector<int> nodes;
+  for (int n = 0; n < cluster_.numComputeNodes(); ++n) nodes.push_back(n);
+
+  core::XferRequest beat;
+  beat.src_node = mgmt;
+  beat.dest_nodes = nodes;
+  beat.bytes = 16;
+  beat.deliver = [this, seq](int node) {
+    NodeInfo& info = node_info_[static_cast<std::size_t>(node)];
+    if (info.responsive) {
+      core_.writeVarLocal(node, hb_var_, seq);  // NM acknowledges
+    }
+  };
+  core_.xferAndSignal(std::move(beat));
+
+  // Half a period later, the MM inspects each node's acknowledgement.
+  cluster_.engine().after(config_.heartbeat_period / 2, [this, seq] {
+    for (int n = 0; n < cluster_.numComputeNodes(); ++n) {
+      NodeInfo& info = node_info_[static_cast<std::size_t>(n)];
+      if (core_.readVar(n, hb_var_) >= seq) {
+        info.missed = 0;
+      } else if (!info.marked_dead) {
+        if (++info.missed >= config_.max_missed_heartbeats) {
+          info.marked_dead = true;
+          cluster_.trace().record(cluster_.engine().now(),
+                                  sim::TraceCategory::kStorm, n,
+                                  "declared dead after " +
+                                      std::to_string(info.missed) +
+                                      " missed heartbeats");
+        }
+      }
+    }
+  });
+  cluster_.engine().after(config_.heartbeat_period,
+                          [this] { heartbeatRound(); });
+}
+
+bool Storm::nodeAlive(int node) const {
+  return !node_info_.at(static_cast<std::size_t>(node)).marked_dead;
+}
+
+void Storm::killNode(int node) {
+  node_info_.at(static_cast<std::size_t>(node)).responsive = false;
+}
+
+std::vector<int> Storm::deadNodes() const {
+  std::vector<int> dead;
+  for (int n = 0; n < cluster_.numComputeNodes(); ++n) {
+    if (node_info_[static_cast<std::size_t>(n)].marked_dead) dead.push_back(n);
+  }
+  return dead;
+}
+
+}  // namespace bcs::storm

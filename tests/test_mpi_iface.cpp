@@ -1,0 +1,283 @@
+// Tests for the shared MPI facade layer: datatypes, reduction kernels
+// (host vs NIC-softfloat flavours, parameterized across ops and types),
+// and the composed v-variant collectives on both implementations.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "bcsmpi/comm.hpp"
+#include "mpi/reduce_ops.hpp"
+#include "mpi/types.hpp"
+#include "net/cluster.hpp"
+
+namespace {
+
+using namespace bcs;
+using mpi::Datatype;
+using mpi::ReduceFlavor;
+using mpi::ReduceOp;
+
+TEST(Types, DatatypeSizes) {
+  EXPECT_EQ(datatypeSize(Datatype::kByte), 1u);
+  EXPECT_EQ(datatypeSize(Datatype::kInt32), 4u);
+  EXPECT_EQ(datatypeSize(Datatype::kInt64), 8u);
+  EXPECT_EQ(datatypeSize(Datatype::kFloat32), 4u);
+  EXPECT_EQ(datatypeSize(Datatype::kFloat64), 8u);
+}
+
+TEST(Types, NamesAreStable) {
+  EXPECT_STREQ(datatypeName(Datatype::kFloat64), "float64");
+  EXPECT_STREQ(reduceOpName(ReduceOp::kSum), "sum");
+  EXPECT_STREQ(reduceOpName(ReduceOp::kMax), "max");
+}
+
+// ---- applyReduce across (op, flavor), parameterized ----
+
+class ReduceKernel
+    : public ::testing::TestWithParam<std::tuple<ReduceOp, ReduceFlavor>> {};
+
+TEST_P(ReduceKernel, Int64Elementwise) {
+  const auto [op, flavor] = GetParam();
+  std::vector<std::int64_t> acc{5, -3, 100, 0};
+  const std::vector<std::int64_t> in{2, 7, -100, 0};
+  mpi::applyReduce(op, Datatype::kInt64, acc.data(), in.data(), 4, flavor);
+  switch (op) {
+    case ReduceOp::kSum:
+      EXPECT_EQ(acc, (std::vector<std::int64_t>{7, 4, 0, 0}));
+      break;
+    case ReduceOp::kProd:
+      EXPECT_EQ(acc, (std::vector<std::int64_t>{10, -21, -10000, 0}));
+      break;
+    case ReduceOp::kMin:
+      EXPECT_EQ(acc, (std::vector<std::int64_t>{2, -3, -100, 0}));
+      break;
+    case ReduceOp::kMax:
+      EXPECT_EQ(acc, (std::vector<std::int64_t>{5, 7, 100, 0}));
+      break;
+  }
+}
+
+TEST_P(ReduceKernel, Float64FlavorsAgreeBitwise) {
+  const auto [op, flavor] = GetParam();
+  (void)flavor;  // this test compares the two flavours directly
+  std::vector<double> a{0.1, -2.5, 1e300, 5e-324, 3.0};
+  std::vector<double> b{0.2, 2.5, 1e300, 5e-324, -1.5};
+  auto host = a;
+  auto nic = a;
+  mpi::applyReduce(op, Datatype::kFloat64, host.data(), b.data(), a.size(),
+                   ReduceFlavor::kHost);
+  mpi::applyReduce(op, Datatype::kFloat64, nic.data(), b.data(), a.size(),
+                   ReduceFlavor::kNicSoftFloat);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(host[i]),
+              std::bit_cast<std::uint64_t>(nic[i]))
+        << "elem " << i << " op " << reduceOpName(op);
+  }
+}
+
+TEST_P(ReduceKernel, Float32FlavorsAgreeBitwise) {
+  const auto [op, flavor] = GetParam();
+  (void)flavor;
+  std::vector<float> a{0.1f, -2.5f, 3e38f, 1e-40f};
+  std::vector<float> b{0.2f, 2.5f, 3e38f, -1e-40f};
+  auto host = a;
+  auto nic = a;
+  mpi::applyReduce(op, Datatype::kFloat32, host.data(), b.data(), a.size(),
+                   ReduceFlavor::kHost);
+  mpi::applyReduce(op, Datatype::kFloat32, nic.data(), b.data(), a.size(),
+                   ReduceFlavor::kNicSoftFloat);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(host[i]),
+              std::bit_cast<std::uint32_t>(nic[i]))
+        << "elem " << i << " op " << reduceOpName(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAndFlavors, ReduceKernel,
+    ::testing::Combine(::testing::Values(ReduceOp::kSum, ReduceOp::kProd,
+                                         ReduceOp::kMin, ReduceOp::kMax),
+                       ::testing::Values(ReduceFlavor::kHost,
+                                         ReduceFlavor::kNicSoftFloat)),
+    [](const auto& info) {
+      return std::string(reduceOpName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == ReduceFlavor::kHost ? "_host"
+                                                             : "_nic");
+    });
+
+// ---- composed v-variant collectives on both implementations ----
+
+class VariantCollectives : public ::testing::TestWithParam<bool> {
+ protected:
+  void run(const std::function<void(mpi::Comm&)>& body, int nprocs = 5) {
+    net::ClusterConfig ccfg;
+    ccfg.num_compute_nodes = nprocs;
+    net::Cluster cluster(ccfg);
+    std::vector<int> map(static_cast<std::size_t>(nprocs));
+    std::iota(map.begin(), map.end(), 0);
+    if (GetParam()) {
+      bcsmpi::BcsMpiConfig cfg;
+      cfg.runtime_init_overhead = sim::usec(50);
+      bcsmpi::runJob(cluster, cfg, map, body);
+    } else {
+      baseline::BaselineConfig cfg;
+      cfg.init_overhead = sim::usec(10);
+      baseline::runJob(cluster, cfg, map, body);
+    }
+  }
+};
+
+TEST_P(VariantCollectives, ScattervUnevenCounts) {
+  run([](mpi::Comm& comm) {
+    const int P = comm.size();
+    const int root = 1;
+    // Rank r receives r+1 ints: 1, 2, 3, ...
+    std::vector<int> send_buf;
+    std::vector<std::size_t> counts, displs;
+    if (comm.rank() == root) {
+      std::size_t off = 0;
+      for (int r = 0; r < P; ++r) {
+        counts.push_back((static_cast<std::size_t>(r) + 1) * sizeof(int));
+        displs.push_back(off * sizeof(int));
+        for (int k = 0; k <= r; ++k) send_buf.push_back(100 * r + k);
+        off += static_cast<std::size_t>(r) + 1;
+      }
+    }
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1, -1);
+    comm.scatterv(send_buf.data(), counts, displs, mine.data(),
+                  mine.size() * sizeof(int), root);
+    for (int k = 0; k <= comm.rank(); ++k) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(k)], 100 * comm.rank() + k);
+    }
+  });
+}
+
+TEST_P(VariantCollectives, GathervUnevenCounts) {
+  run([](mpi::Comm& comm) {
+    const int P = comm.size();
+    const int root = 2;
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1);
+    for (int k = 0; k <= comm.rank(); ++k) {
+      mine[static_cast<std::size_t>(k)] = 10 * comm.rank() + k;
+    }
+    std::vector<std::size_t> counts, displs;
+    std::vector<int> gathered;
+    if (comm.rank() == root) {
+      std::size_t off = 0;
+      for (int r = 0; r < P; ++r) {
+        counts.push_back((static_cast<std::size_t>(r) + 1) * sizeof(int));
+        displs.push_back(off * sizeof(int));
+        off += static_cast<std::size_t>(r) + 1;
+      }
+      gathered.assign(off, -1);
+    }
+    comm.gatherv(mine.data(), mine.size() * sizeof(int), gathered.data(),
+                 counts, displs, root);
+    if (comm.rank() == root) {
+      std::size_t idx = 0;
+      for (int r = 0; r < P; ++r) {
+        for (int k = 0; k <= r; ++k) {
+          EXPECT_EQ(gathered[idx++], 10 * r + k);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(VariantCollectives, AllgathervAndAlltoallv) {
+  run([](mpi::Comm& comm) {
+    const int P = comm.size();
+    const int r = comm.rank();
+    // allgatherv: rank r contributes r+1 bytes.
+    std::vector<std::size_t> counts, displs;
+    std::size_t total = 0;
+    for (int i = 0; i < P; ++i) {
+      counts.push_back(static_cast<std::size_t>(i) + 1);
+      displs.push_back(total);
+      total += static_cast<std::size_t>(i) + 1;
+    }
+    std::vector<std::uint8_t> mine(static_cast<std::size_t>(r) + 1,
+                                   static_cast<std::uint8_t>(r + 1));
+    std::vector<std::uint8_t> all(total, 0);
+    comm.allgatherv(mine.data(), mine.size(), all.data(), counts, displs);
+    for (int i = 0; i < P; ++i) {
+      for (std::size_t k = 0; k < counts[static_cast<std::size_t>(i)]; ++k) {
+        EXPECT_EQ(all[displs[static_cast<std::size_t>(i)] + k], i + 1);
+      }
+    }
+    // alltoallv: rank r sends (r + d + 1) bytes of value (10r + d) to d.
+    std::vector<std::size_t> scounts, sdispls, rcounts, rdispls;
+    std::size_t soff = 0, roff = 0;
+    for (int d = 0; d < P; ++d) {
+      scounts.push_back(static_cast<std::size_t>(r + d) + 1);
+      sdispls.push_back(soff);
+      soff += scounts.back();
+      rcounts.push_back(static_cast<std::size_t>(d + r) + 1);
+      rdispls.push_back(roff);
+      roff += rcounts.back();
+    }
+    std::vector<std::uint8_t> sbuf(soff), rbuf(roff, 0);
+    for (int d = 0; d < P; ++d) {
+      for (std::size_t k = 0; k < scounts[static_cast<std::size_t>(d)]; ++k) {
+        sbuf[sdispls[static_cast<std::size_t>(d)] + k] =
+            static_cast<std::uint8_t>(10 * r + d);
+      }
+    }
+    comm.alltoallv(sbuf.data(), scounts, sdispls, rbuf.data(), rcounts,
+                   rdispls);
+    for (int s = 0; s < P; ++s) {
+      for (std::size_t k = 0; k < rcounts[static_cast<std::size_t>(s)]; ++k) {
+        EXPECT_EQ(rbuf[rdispls[static_cast<std::size_t>(s)] + k],
+                  static_cast<std::uint8_t>(10 * s + r));
+      }
+    }
+  });
+}
+
+TEST_P(VariantCollectives, TestallIsAllOrNothing) {
+  run([](mpi::Comm& comm) {
+    if (comm.size() < 2) return;
+    if (comm.rank() == 0) {
+      int a = 1, b = 2;
+      // Send only the first now; the second after a long delay.
+      comm.send(&a, sizeof a, 1, 0);
+      comm.compute(sim::msec(8));
+      comm.send(&b, sizeof b, 1, 1);
+    } else if (comm.rank() == 1) {
+      int a = 0, b = 0;
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.irecv(&a, sizeof a, 0, 0));
+      reqs.push_back(comm.irecv(&b, sizeof b, 0, 1));
+      comm.compute(sim::msec(3));  // first has arrived, second has not
+      EXPECT_FALSE(comm.testall(reqs));
+      EXPECT_FALSE(reqs[0].null());  // all-or-nothing: nothing released
+      comm.waitall(reqs);
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+    }
+  });
+}
+
+TEST_P(VariantCollectives, NullRequestsAreNoOps) {
+  run([](mpi::Comm& comm) {
+    mpi::Request null_req;
+    comm.wait(null_req);  // must not hang or throw
+    EXPECT_TRUE(comm.test(null_req));
+    std::vector<mpi::Request> reqs(3);
+    comm.waitall(reqs);
+    EXPECT_TRUE(comm.testall(reqs));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BothImplementations, VariantCollectives,
+                         ::testing::Bool(), [](const auto& info) {
+                           return info.param ? std::string("bcsmpi")
+                                             : std::string("baseline");
+                         });
+
+}  // namespace

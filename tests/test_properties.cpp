@@ -1,0 +1,267 @@
+// Property-style parameterized suites over the protocol's key invariants:
+//
+//  * blocking delay stays within [1, 2] time slices for any slice length;
+//  * chunk accounting: a B-byte message moves in exactly
+//    ceil(B / min(chunk, budget-share)) chunks and its transfer spans at
+//    least (chunks - 1) slices;
+//  * fabric endpoint contention conserves bytes (no transfer finishes
+//    faster than the serialization bound) across all network presets;
+//  * randomized message soups deliver every byte intact under both
+//    implementations for many (seed, size) combinations.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::msec;
+using sim::usec;
+
+// ---- blocking delay bounded by [1, 2] slices for any slice length ----
+
+class BlockingDelayBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockingDelayBounds, StaysWithinOneToTwoSlices) {
+  const double slice_us = GetParam();
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 2;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  cfg.time_slice = usec(slice_us);
+  if (cfg.dem_floor + cfg.msm_floor > cfg.time_slice / 2) {
+    cfg.dem_floor = cfg.time_slice / 8;
+    cfg.msm_floor = cfg.time_slice / 8;
+    cfg.dem_drain_window = cfg.dem_floor / 4;
+  }
+  sim::Accumulator acc;
+  bcsmpi::runJob(cluster, cfg, {0, 1}, [&](mpi::Comm& comm) {
+    char c = 0;
+    for (int i = 0; i < 30; ++i) {
+      comm.compute(usec(31 + 83 * (i % 11)));  // scan phases
+      if (comm.rank() == 0) {
+        const sim::SimTime t0 = comm.now();
+        comm.send(&c, 1, 1, 0);
+        acc.add(sim::toUsec(comm.now() - t0) / slice_us);
+      } else {
+        comm.recv(&c, 1, 0, 0);
+      }
+    }
+  });
+  // Individual delays live in [1, 2] slices (+ microphase epsilon); the
+  // mean sits near 1.5.
+  EXPECT_GE(acc.min(), 0.95);
+  EXPECT_LE(acc.max(), 2.15);
+  EXPECT_GT(acc.mean(), 1.2);
+  EXPECT_LT(acc.mean(), 1.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceLengths, BlockingDelayBounds,
+                         ::testing::Values(250.0, 500.0, 750.0, 1000.0),
+                         [](const auto& info) {
+                           return "us" + std::to_string(
+                                             static_cast<int>(info.param));
+                         });
+
+// ---- chunk accounting ----
+
+class ChunkAccounting
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(ChunkAccounting, ChunkCountAndSliceSpanMatchTheModel) {
+  const auto [message_kb, chunk_kb] = GetParam();
+  const std::size_t bytes = message_kb << 10;
+  const std::size_t chunk = chunk_kb << 10;
+
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 2;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  cfg.chunk_bytes = chunk;
+  cfg.slice_byte_budget = chunk;  // exactly one chunk per slice
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  sim::SimTime span = 0;
+  bcsmpi::launchJob(*runtime, {0, 1}, [&](mpi::Comm& comm) {
+    std::vector<char> buf(bytes, 'x');
+    if (comm.rank() == 0) {
+      const sim::SimTime t0 = comm.now();
+      comm.send(buf.data(), bytes, 1, 0);
+      span = comm.now() - t0;
+    } else {
+      comm.recv(buf.data(), bytes, 0, 0);
+    }
+  });
+  cluster.run();
+  ASSERT_TRUE(cluster.allProcessesFinished());
+
+  const auto expected_chunks =
+      static_cast<std::uint64_t>((bytes + chunk - 1) / chunk);
+  EXPECT_EQ(runtime->stats().chunks_transferred, expected_chunks);
+  if (expected_chunks > 1) {
+    // One chunk per slice: the send occupies at least chunks-1 full slices.
+    EXPECT_GE(span, static_cast<sim::SimTime>(expected_chunks - 1) *
+                        cfg.time_slice);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndChunks, ChunkAccounting,
+    ::testing::Values(std::make_tuple(16u, 64u), std::make_tuple(64u, 64u),
+                      std::make_tuple(65u, 64u), std::make_tuple(256u, 64u),
+                      std::make_tuple(256u, 32u), std::make_tuple(96u, 16u)),
+    [](const auto& info) {
+      return "msg" + std::to_string(std::get<0>(info.param)) + "k_chunk" +
+             std::to_string(std::get<1>(info.param)) + "k";
+    });
+
+// ---- fabric serialization bound across all presets ----
+
+class FabricSerialization : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabricSerialization, TransfersRespectTheSerializationBound) {
+  net::NetworkParams params;
+  switch (GetParam()) {
+    case 0: params = net::NetworkParams::qsnet(); break;
+    case 1: params = net::NetworkParams::gigabitEthernet(); break;
+    case 2: params = net::NetworkParams::myrinet(); break;
+    case 3: params = net::NetworkParams::infiniband(); break;
+    default: params = net::NetworkParams::bluegeneL(); break;
+  }
+  sim::Engine eng;
+  net::Fabric fabric(eng, params, 8);
+  // 4 concurrent 256 KiB transfers into node 0: the last completion cannot
+  // beat total_bytes / effective_bandwidth.
+  const std::size_t bytes = 256 << 10;
+  sim::SimTime last = 0;
+  int done = 0;
+  for (int s = 1; s <= 4; ++s) {
+    fabric.unicast(s, 0, bytes, [&] {
+      last = eng.now();
+      ++done;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done, 4);
+  const double bound_ns =
+      4.0 * static_cast<double>(bytes) / params.effectiveBandwidth();
+  EXPECT_GE(static_cast<double>(last), bound_ns * 0.999);
+}
+
+std::string networkCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"qsnet", "gige", "myrinet",
+                                       "infiniband", "bluegene"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, FabricSerialization,
+                         ::testing::Range(0, 5), networkCaseName);
+
+// ---- randomized message soup, both implementations ----
+
+class MessageSoup
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>> {};
+
+TEST_P(MessageSoup, EveryByteArrivesIntact) {
+  const auto [use_bcs, seed] = GetParam();
+  const int P = 4;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  net::Cluster cluster(ccfg);
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+
+  // Deterministic plan shared by all ranks: `rounds` rounds; in each, every
+  // rank sends one message of pseudo-random size to a pseudo-random peer.
+  struct Msg {
+    int from, to;
+    std::size_t bytes;
+  };
+  sim::Rng plan_rng(seed);
+  std::vector<std::vector<Msg>> plan;  // per round
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Msg> msgs;
+    for (int s = 0; s < P; ++s) {
+      Msg m;
+      m.from = s;
+      m.to = static_cast<int>((s + 1 + plan_rng.below(P - 1)) % P);
+      m.bytes = 1 + plan_rng.below(40000);
+      msgs.push_back(m);
+    }
+    plan.push_back(msgs);
+  }
+
+  auto body = [&plan, P](mpi::Comm& comm) {
+    const int me = comm.rank();
+    for (std::size_t round = 0; round < plan.size(); ++round) {
+      std::vector<mpi::Request> reqs;
+      std::vector<std::vector<std::uint8_t>> outs, ins;
+      std::vector<int> in_from;
+      for (const auto& m : plan[round]) {
+        if (m.to == me) {
+          ins.emplace_back(m.bytes);
+          in_from.push_back(m.from);
+          reqs.push_back(comm.irecv(ins.back().data(), m.bytes, m.from,
+                                    static_cast<int>(round)));
+        }
+      }
+      for (const auto& m : plan[round]) {
+        if (m.from == me) {
+          outs.emplace_back(m.bytes);
+          for (std::size_t i = 0; i < m.bytes; ++i) {
+            outs.back()[i] =
+                static_cast<std::uint8_t>((i * 7 + m.from + round) & 0xFF);
+          }
+          reqs.push_back(comm.isend(outs.back().data(), m.bytes, m.to,
+                                    static_cast<int>(round)));
+        }
+      }
+      comm.waitall(reqs);
+      std::size_t idx = 0;
+      for (const auto& m : plan[round]) {
+        if (m.to != me) continue;
+        const auto& buf = ins[idx];
+        const int from = in_from[idx];
+        ++idx;
+        for (std::size_t i = 0; i < buf.size(); i += 997) {
+          ASSERT_EQ(buf[i],
+                    static_cast<std::uint8_t>((i * 7 + from + round) & 0xFF))
+              << "round " << round << " from " << from << " byte " << i;
+        }
+      }
+    }
+    (void)P;
+  };
+
+  if (use_bcs) {
+    bcsmpi::BcsMpiConfig cfg;
+    cfg.runtime_init_overhead = usec(50);
+    bcsmpi::runJob(cluster, cfg, map, body);
+  } else {
+    baseline::BaselineConfig cfg;
+    cfg.init_overhead = usec(10);
+    baseline::runJob(cluster, cfg, map, body);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndImpls, MessageSoup,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(11u, 97u, 4242u, 80808u)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "bcsmpi" : "baseline") +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

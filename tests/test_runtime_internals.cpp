@@ -1,0 +1,257 @@
+// White-box tests of the BCS-MPI runtime: statistics accounting, slice-grid
+// behaviour, error reporting, the spin-vs-descheduled wait distinction, the
+// DEM drain window, and multi-job isolation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "bcsmpi/runtime.hpp"
+#include "net/cluster.hpp"
+
+namespace {
+
+using namespace bcs;
+using bcsmpi::BcsMpiConfig;
+using mpi::Comm;
+using sim::msec;
+using sim::usec;
+
+net::ClusterConfig nodes(int n) {
+  net::ClusterConfig cfg;
+  cfg.num_compute_nodes = n;
+  return cfg;
+}
+
+BcsMpiConfig fast() {
+  BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  return cfg;
+}
+
+TEST(RuntimeInternals, StatsCountDescriptorsMatchesAndChunks) {
+  net::Cluster cluster(nodes(2));
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, fast());
+  bcsmpi::launchJob(*runtime, {0, 1}, [](Comm& comm) {
+    char c = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(&c, 1, 1, i);
+      } else {
+        comm.recv(&c, 1, 0, i);
+      }
+    }
+  });
+  cluster.run();
+  ASSERT_TRUE(cluster.allProcessesFinished());
+  const auto& st = runtime->stats();
+  EXPECT_EQ(st.descriptors_exchanged, 4u);  // one send descriptor each
+  EXPECT_EQ(st.matches, 4u);
+  EXPECT_EQ(st.chunks_transferred, 4u);  // tiny messages: one chunk each
+  EXPECT_EQ(st.collectives_scheduled, 0u);
+  EXPECT_EQ(st.microstrobes, 5 * st.slices);
+  EXPECT_EQ(st.slice_overruns, 0u);
+}
+
+TEST(RuntimeInternals, CollectiveCountersTrackGenerations) {
+  net::Cluster cluster(nodes(4));
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, fast());
+  bcsmpi::launchJob(*runtime, {0, 1, 2, 3}, [](Comm& comm) {
+    for (int i = 0; i < 3; ++i) comm.barrier();
+    double v = comm.rank();
+    double out = 0;
+    comm.allreduce(&v, &out, 1, mpi::Datatype::kFloat64, mpi::ReduceOp::kSum);
+  });
+  cluster.run();
+  ASSERT_TRUE(cluster.allProcessesFinished());
+  EXPECT_EQ(runtime->stats().collectives_scheduled, 4u);
+}
+
+TEST(RuntimeInternals, SpinWaitResumesMidSliceButBlockingWaitsForBoundary) {
+  // The Figure 2 distinction: Irecv+Wait (spin) continues at the completion
+  // instant; blocking MPI_Recv restarts at a slice boundary.
+  net::Cluster cluster(nodes(2));
+  BcsMpiConfig cfg = fast();
+  sim::SimTime spin_resume = -1, blocking_resume = -1;
+  bcsmpi::runJob(cluster, cfg, {0, 1}, [&](Comm& comm) {
+    char c = 0;
+    // Round 1: non-blocking + wait (spin).
+    if (comm.rank() == 0) {
+      comm.send(&c, 1, 1, 0);
+    } else {
+      mpi::Request r = comm.irecv(&c, 1, 0, 0);
+      comm.wait(r);
+      spin_resume = comm.now();
+    }
+    comm.barrier();
+    // Round 2: blocking receive.
+    if (comm.rank() == 0) {
+      comm.send(&c, 1, 1, 1);
+    } else {
+      comm.recv(&c, 1, 0, 1);
+      blocking_resume = comm.now();
+    }
+  });
+  ASSERT_GT(spin_resume, 0);
+  ASSERT_GT(blocking_resume, 0);
+  // A blocking-primitive resume lands within the NM wakeup window right
+  // after a slice boundary; a spin resume lands mid-slice (during the P2P
+  // microphase, >100 us in).  The slice grid is anchored at the runtime
+  // bring-up instant (50 us here), not at zero.
+  const auto phase_of = [&](sim::SimTime t) {
+    return (t - usec(50)) % cfg.time_slice;
+  };
+  EXPECT_LT(phase_of(blocking_resume), usec(40));
+  EXPECT_GT(phase_of(spin_resume), usec(100));
+}
+
+TEST(RuntimeInternals, TwoIndependentJobsDoNotInterfere) {
+  net::Cluster cluster(nodes(4));
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, fast());
+  std::vector<int> sums(2, 0);
+  for (int j = 0; j < 2; ++j) {
+    // Job 0 on nodes {0,1}, job 1 on nodes {2,3}.
+    bcsmpi::launchJob(*runtime, {j * 2, j * 2 + 1}, [&sums, j](Comm& comm) {
+      int v = 10 * (j + 1) + comm.rank();
+      int got = -1;
+      const int peer = 1 - comm.rank();
+      mpi::Request rr = comm.irecv(&got, sizeof got, peer, 0);
+      comm.send(&v, sizeof v, peer, 0);
+      comm.wait(rr);
+      if (comm.rank() == 0) sums[static_cast<std::size_t>(j)] = got;
+    });
+  }
+  cluster.run();
+  ASSERT_TRUE(cluster.allProcessesFinished());
+  EXPECT_EQ(sums[0], 11);  // job 0 got job-0 data, not job 1's
+  EXPECT_EQ(sums[1], 21);
+}
+
+TEST(RuntimeInternals, CollectiveTypeMismatchThrows) {
+  // The BR's pre-processing detects ranks of one job disagreeing on the
+  // pending collective when they share a node (cross-node disagreement is
+  // undefined behaviour here exactly as in real MPI).
+  net::Cluster cluster(nodes(2));
+  EXPECT_THROW(
+      bcsmpi::runJob(cluster, fast(), {0, 0},  // both ranks on node 0
+                     [](Comm& comm) {
+                       if (comm.rank() == 0) {
+                         comm.barrier();
+                       } else {
+                         char c = 1;
+                         comm.bcast(&c, 1, 0);  // different collective!
+                       }
+                     }),
+      sim::SimError);
+}
+
+TEST(RuntimeInternals, ReceiveTruncationThrows) {
+  net::Cluster cluster(nodes(2));
+  EXPECT_THROW(bcsmpi::runJob(cluster, fast(), {0, 1},
+                              [](Comm& comm) {
+                                if (comm.rank() == 0) {
+                                  char big[64] = {};
+                                  comm.send(big, sizeof big, 1, 0);
+                                } else {
+                                  char tiny[8];
+                                  comm.recv(tiny, sizeof tiny, 0, 0);
+                                }
+                              }),
+               sim::SimError);
+}
+
+TEST(RuntimeInternals, BadDestinationRankThrows) {
+  net::Cluster cluster(nodes(2));
+  EXPECT_THROW(bcsmpi::runJob(cluster, fast(), {0, 1},
+                              [](Comm& comm) {
+                                char c = 0;
+                                comm.send(&c, 1, /*dest=*/5, 0);
+                              }),
+               sim::SimError);
+}
+
+TEST(RuntimeInternals, DrainWindowCatchesBoundaryPosts) {
+  // A process woken at the slice boundary that immediately posts catches
+  // the *current* slice (FIFO drain semantics) — its blocking op costs
+  // ~1 slice, not ~2.
+  net::Cluster cluster(nodes(2));
+  BcsMpiConfig cfg = fast();
+  std::vector<double> delays;
+  bcsmpi::runJob(cluster, cfg, {0, 1}, [&](Comm& comm) {
+    char c = 0;
+    // The first blocking op aligns both ranks to a boundary; afterwards
+    // each iteration posts immediately upon restart.
+    for (int i = 0; i < 10; ++i) {
+      if (comm.rank() == 0) {
+        const sim::SimTime t0 = comm.now();
+        comm.send(&c, 1, 1, i);
+        if (i > 0) delays.push_back(sim::toUsec(comm.now() - t0));
+      } else {
+        comm.recv(&c, 1, 0, i);
+      }
+    }
+  });
+  ASSERT_FALSE(delays.empty());
+  const double slice_us = sim::toUsec(cfg.time_slice);
+  for (double d : delays) {
+    EXPECT_LT(d, 1.2 * slice_us) << "boundary post missed the drain window";
+  }
+}
+
+TEST(RuntimeInternals, IprobeNonBlockingReturnsFalseThenTrue) {
+  net::Cluster cluster(nodes(2));
+  bool early = true, late = false;
+  bcsmpi::runJob(cluster, fast(), {0, 1}, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(msec(2));
+      char c = 7;
+      comm.send(&c, 1, 1, 3);
+    } else {
+      mpi::Status st;
+      early = comm.probe(0, 3, &st, /*blocking=*/false);
+      while (!comm.probe(0, 3, &st, /*blocking=*/false)) {
+        comm.compute(usec(200));
+      }
+      late = true;
+      EXPECT_EQ(st.bytes, 1u);
+      char c = 0;
+      comm.recv(&c, 1, 0, 3);
+      EXPECT_EQ(c, 7);
+    }
+  });
+  EXPECT_FALSE(early);
+  EXPECT_TRUE(late);
+}
+
+TEST(RuntimeInternals, StrobeStopsWhenAllJobsFinish) {
+  net::Cluster cluster(nodes(2));
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, fast());
+  bcsmpi::launchJob(*runtime, {0, 1}, [](Comm& comm) {
+    comm.barrier();
+  });
+  cluster.run();
+  ASSERT_TRUE(cluster.allProcessesFinished());
+  const auto slices_at_finish = runtime->stats().slices;
+  // The engine drained: no further strobes are pending.
+  EXPECT_EQ(cluster.engine().pendingEvents(), 0u);
+  EXPECT_LT(slices_at_finish, 30u);  // a short job stops strobing promptly
+}
+
+TEST(RuntimeInternals, SnapshotOfFreshRuntimeIsEmptyAndQuiescent) {
+  net::Cluster cluster(nodes(2));
+  bcsmpi::Runtime runtime(cluster, fast());
+  const auto record = runtime.snapshot();
+  EXPECT_TRUE(record.quiescent);
+  EXPECT_TRUE(record.jobs.empty());
+  EXPECT_EQ(record.nodes.size(), 2u);
+  for (const auto& n : record.nodes) {
+    EXPECT_EQ(n.fresh_sends + n.fresh_recvs + n.unmatched_remote +
+                  n.unmatched_recvs + n.partial_messages,
+              0u);
+  }
+}
+
+}  // namespace

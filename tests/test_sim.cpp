@@ -1,0 +1,416 @@
+// Unit tests for the simulation substrate: engine, fibers, CPU model,
+// noise injection, RNG and statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/noise.hpp"
+#include "sim/process.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace bcs::sim;
+
+// ---------------------------------------------------------------- Engine --
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(usec(30), [&] { order.push_back(3); });
+  eng.at(usec(10), [&] { order.push_back(1); });
+  eng.at(usec(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), usec(30));
+}
+
+TEST(Engine, TiesBreakInInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.at(usec(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, AfterSchedulesRelativeToNow) {
+  Engine eng;
+  SimTime fired = -1;
+  eng.at(usec(10), [&] { eng.after(usec(5), [&] { fired = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(fired, usec(15));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool ran = false;
+  EventId id = eng.at(usec(10), [&] { ran = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));  // double-cancel reports failure
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.executedEvents(), 0u);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    eng.at(usec(10.0 * i), [&] { ++count; });
+  }
+  eng.run(usec(50));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(eng.now(), usec(50));
+  eng.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.at(usec(10), [&] {
+    EXPECT_THROW(eng.at(usec(5), [] {}), SimError);
+  });
+  eng.run();
+}
+
+TEST(Engine, EventsScheduledDuringEventRun) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) eng.after(usec(1), recurse);
+  };
+  eng.at(0, recurse);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), usec(99));
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine eng;
+  int count = 0;
+  eng.at(usec(1), [&] { ++count; });
+  eng.at(usec(2), [&] { ++count; });
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+  EXPECT_EQ(count, 2);
+}
+
+// ---------------------------------------------------------------- Fiber --
+
+TEST(Fiber, RunsToCompletionAcrossResumes) {
+  int stage = 0;
+  Fiber f([&] {
+    stage = 1;
+    f.yield();
+    stage = 2;
+  });
+  EXPECT_EQ(stage, 0);
+  f.resume();
+  EXPECT_EQ(stage, 1);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_EQ(stage, 2);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, ExceptionPropagatesToResumer) {
+  Fiber f([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, DestructionUnwindsUnfinishedBody) {
+  bool unwound = false;
+  {
+    Fiber* self = nullptr;
+    Fiber g([&] {
+      struct S {
+        bool* u;
+        ~S() { *u = true; }
+      } s{&unwound};
+      self->yield();
+      self->yield();
+    });
+    self = &g;
+    g.resume();  // now parked inside first yield
+  }              // destructor force-unwinds
+  EXPECT_TRUE(unwound);
+}
+
+// ------------------------------------------------------------------ CPU --
+
+TEST(Cpu, SingleTaskRunsAtFullSpeed) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  SimTime done_at = -1;
+  cpu.submit(msec(5), CpuScheduler::Priority::kUser,
+             [&] { done_at = eng.now(); });
+  eng.run();
+  EXPECT_EQ(done_at, msec(5));
+}
+
+TEST(Cpu, TwoTasksOnTwoCpusDoNotInterfere) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  SimTime a = -1, b = -1;
+  cpu.submit(msec(5), CpuScheduler::Priority::kUser, [&] { a = eng.now(); });
+  cpu.submit(msec(3), CpuScheduler::Priority::kUser, [&] { b = eng.now(); });
+  eng.run();
+  EXPECT_EQ(a, msec(5));
+  EXPECT_EQ(b, msec(3));
+}
+
+TEST(Cpu, ThreeTasksOnTwoCpusShare) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  std::vector<SimTime> done(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(msec(6), CpuScheduler::Priority::kUser,
+               [&, i] { done[static_cast<std::size_t>(i)] = eng.now(); });
+  }
+  eng.run();
+  // 18 ms of demand over 2 CPUs, all equal: everyone finishes at 9 ms.
+  for (auto t : done) EXPECT_NEAR(static_cast<double>(t), msec(9), 1e3);
+}
+
+TEST(Cpu, DaemonPreemptsUserWork) {
+  Engine eng;
+  CpuScheduler cpu(eng, 1);
+  SimTime user_done = -1;
+  cpu.submit(msec(4), CpuScheduler::Priority::kUser,
+             [&] { user_done = eng.now(); });
+  // Dæmon grabs the single CPU for 1 ms starting immediately.
+  cpu.submit(msec(1), CpuScheduler::Priority::kDaemon, nullptr);
+  eng.run();
+  EXPECT_NEAR(static_cast<double>(user_done), msec(5), 1e3);
+}
+
+TEST(Cpu, FrozenTaskMakesNoProgress) {
+  Engine eng;
+  CpuScheduler cpu(eng, 1);
+  SimTime done = -1;
+  CpuTaskId id = cpu.submit(msec(2), CpuScheduler::Priority::kUser,
+                            [&] { done = eng.now(); });
+  eng.at(msec(1), [&] { cpu.setRunnable(id, false); });
+  eng.at(msec(3), [&] { cpu.setRunnable(id, true); });
+  eng.run();
+  // 1 ms progress, frozen 2 ms, then remaining 1 ms.
+  EXPECT_NEAR(static_cast<double>(done), msec(4), 1e3);
+}
+
+TEST(Cpu, CancelDropsCompletion) {
+  Engine eng;
+  CpuScheduler cpu(eng, 1);
+  bool fired = false;
+  CpuTaskId id =
+      cpu.submit(msec(2), CpuScheduler::Priority::kUser, [&] { fired = true; });
+  eng.at(msec(1), [&] { cpu.cancel(id); });
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+// -------------------------------------------------------------- Process --
+
+TEST(Process, ComputeAdvancesSimTime) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  SimTime end = -1;
+  Process p(eng, cpu, 0, "p", [&](Process& self) {
+    self.compute(msec(2));
+    self.compute(msec(3));
+    end = self.now();
+  });
+  p.start(usec(100));
+  eng.run();
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(end, usec(100) + msec(5));
+  EXPECT_EQ(p.totalComputeRequested(), msec(5));
+}
+
+TEST(Process, BlockWakeRoundTrip) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  SimTime resumed_at = -1;
+  Process p(eng, cpu, 0, "p", [&](Process& self) {
+    self.block();
+    resumed_at = self.now();
+  });
+  p.start(0);
+  eng.at(msec(7), [&] { p.wake(); });
+  eng.run();
+  EXPECT_EQ(resumed_at, msec(7));
+}
+
+TEST(Process, WakeBeforeBlockBanksPermit) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  bool done = false;
+  Process p(eng, cpu, 0, "p", [&](Process& self) {
+    self.block();  // a permit was banked before we blocked: returns at once
+    done = true;
+  });
+  eng.at(0, [&] { p.wake(); });        // banks a permit (process not started)
+  p.start(usec(10));
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(eng.now(), usec(10));  // never actually suspended
+}
+
+TEST(Process, ComputeIsImmuneToStrayWakes) {
+  // Regression test: a runtime may wake() processes at every slice boundary
+  // whether or not they are blocked.  Banked permits must not cut a
+  // compute() short (this once truncated 2 ms of work to 1 ms).
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  SimTime end = -1;
+  Process p(eng, cpu, 0, "p", [&](Process& self) {
+    self.compute(msec(2));
+    end = self.now();
+  });
+  p.start(0);
+  for (int i = 1; i <= 5; ++i) {
+    eng.at(usec(100 * i), [&] { p.wake(); });  // spurious wakes mid-compute
+  }
+  eng.run();
+  EXPECT_EQ(end, msec(2));
+}
+
+TEST(Process, TwoProcessesPingPong) {
+  Engine eng;
+  CpuScheduler cpu(eng, 2);
+  std::vector<int> log;
+  Process* pa = nullptr;
+  Process* pb = nullptr;
+  Process a(eng, cpu, 0, "a", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back(1);
+      pb->wake();
+      self.block();
+    }
+    pb->wake();
+  });
+  Process b(eng, cpu, 0, "b", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      self.block();
+      log.push_back(2);
+      pa->wake();
+    }
+  });
+  pa = &a;
+  pb = &b;
+  a.start(0);
+  b.start(0);
+  eng.run();
+  EXPECT_TRUE(a.finished());
+  EXPECT_TRUE(b.finished());
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+// ---------------------------------------------------------------- Noise --
+
+TEST(Noise, StealsCpuFromUserTask) {
+  Engine eng;
+  CpuScheduler cpu(eng, 1);
+  NoiseConfig nc;
+  nc.period = msec(10);
+  nc.duration = msec(1);
+  nc.jitter = 0.0;
+  nc.coordinated = true;  // deterministic phase
+  NoiseInjector noise(eng, cpu, nc, 1);
+  noise.start(0);
+  SimTime done = -1;
+  cpu.submit(msec(50), CpuScheduler::Priority::kUser,
+             [&] { done = eng.now(); });
+  eng.run(msec(200));
+  ASSERT_GT(done, 0);
+  // ~1 ms stolen per 10 ms: 50 ms of work needs ~55-56 ms of wall time.
+  EXPECT_GT(done, msec(54));
+  EXPECT_LT(done, msec(58));
+  EXPECT_GE(noise.activations(), 5u);
+}
+
+// ------------------------------------------------------------ RNG/Stats --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(2);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.exponential(5.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.2);
+}
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_EQ(h.total(), 100u);
+}
+
+TEST(TraceTest, RecordsAndCounts) {
+  Trace t;
+  t.record(0, TraceCategory::kNet, 0, "dropped (disabled)");
+  EXPECT_EQ(t.records().size(), 0u);
+  t.enable();
+  t.record(usec(1), TraceCategory::kStrobe, 3, "microstrobe DEM");
+  t.record(usec(2), TraceCategory::kDma, 1, "get 4096B");
+  EXPECT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.count([](const TraceRecord& r) {
+              return r.category == TraceCategory::kStrobe;
+            }),
+            1u);
+  EXPECT_NE(t.dump().find("microstrobe"), std::string::npos);
+}
+
+TEST(TimeFormat, HumanReadable) {
+  EXPECT_EQ(formatTime(500), "500 ns");
+  EXPECT_NE(formatTime(usec(12)).find("us"), std::string::npos);
+  EXPECT_NE(formatTime(msec(3)).find("ms"), std::string::npos);
+  EXPECT_NE(formatTime(sec(2)).find(" s"), std::string::npos);
+}
+
+}  // namespace

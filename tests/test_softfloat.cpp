@@ -1,0 +1,249 @@
+// Tests for the NIC soft-float library: directed edge cases plus large
+// differential sweeps against the host FPU (x86-64 SSE is IEEE-754 with
+// round-to-nearest-even, so results must match bit for bit, NaN payloads
+// aside).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sim/rng.hpp"
+#include "softfloat/softfloat.hpp"
+
+namespace {
+
+using namespace bcs::sf;
+
+std::uint32_t bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float value(std::uint32_t b) { return std::bit_cast<float>(b); }
+std::uint64_t bits(double f) { return std::bit_cast<std::uint64_t>(f); }
+double value64(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+/// Bitwise equality modulo NaN payloads.
+::testing::AssertionResult sameF32(std::uint32_t got, std::uint32_t want) {
+  if (f32_is_nan(got) && f32_is_nan(want)) {
+    return ::testing::AssertionSuccess();
+  }
+  if (got == want) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << std::hex << "got 0x" << got << " (" << value(got) << "), want 0x"
+         << want << " (" << value(want) << ")";
+}
+
+::testing::AssertionResult sameF64(std::uint64_t got, std::uint64_t want) {
+  if (f64_is_nan(got) && f64_is_nan(want)) {
+    return ::testing::AssertionSuccess();
+  }
+  if (got == want) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << std::hex << "got 0x" << got << " (" << value64(got)
+         << "), want 0x" << want << " (" << value64(want) << ")";
+}
+
+// -------------------------------------------------------------- Directed --
+
+TEST(SoftFloat32, SimpleArithmetic) {
+  EXPECT_TRUE(sameF32(f32_add(bits(1.0f), bits(2.0f)), bits(3.0f)));
+  EXPECT_TRUE(sameF32(f32_sub(bits(1.0f), bits(2.0f)), bits(-1.0f)));
+  EXPECT_TRUE(sameF32(f32_mul(bits(3.0f), bits(4.0f)), bits(12.0f)));
+  EXPECT_TRUE(sameF32(f32_add(bits(0.1f), bits(0.2f)), bits(0.1f + 0.2f)));
+}
+
+TEST(SoftFloat32, SignedZeros) {
+  EXPECT_TRUE(sameF32(f32_add(bits(0.0f), bits(-0.0f)), bits(0.0f)));
+  EXPECT_TRUE(sameF32(f32_add(bits(-0.0f), bits(-0.0f)), bits(-0.0f)));
+  EXPECT_TRUE(sameF32(f32_sub(bits(1.0f), bits(1.0f)), bits(0.0f)));
+  EXPECT_TRUE(f32_eq(bits(0.0f), bits(-0.0f)));
+  EXPECT_FALSE(f32_lt(bits(-0.0f), bits(0.0f)));
+}
+
+TEST(SoftFloat32, Infinities) {
+  const auto inf = bits(std::numeric_limits<float>::infinity());
+  const auto ninf = bits(-std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(sameF32(f32_add(inf, bits(1.0f)), inf));
+  EXPECT_TRUE(sameF32(f32_add(ninf, bits(1.0f)), ninf));
+  EXPECT_TRUE(f32_is_nan(f32_add(inf, ninf)));
+  EXPECT_TRUE(f32_is_nan(f32_sub(inf, inf)));
+  EXPECT_TRUE(sameF32(f32_mul(inf, bits(-2.0f)), ninf));
+  EXPECT_TRUE(f32_is_nan(f32_mul(inf, bits(0.0f))));
+}
+
+TEST(SoftFloat32, NaNPropagation) {
+  const auto nan = bits(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(f32_is_nan(f32_add(nan, bits(1.0f))));
+  EXPECT_TRUE(f32_is_nan(f32_mul(bits(1.0f), nan)));
+  EXPECT_FALSE(f32_eq(nan, nan));
+  EXPECT_FALSE(f32_lt(nan, bits(1.0f)));
+  EXPECT_FALSE(f32_le(nan, nan));
+}
+
+TEST(SoftFloat32, MinMaxTreatNaNAsMissing) {
+  const auto nan = bits(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(sameF32(f32_min(nan, bits(3.0f)), bits(3.0f)));
+  EXPECT_TRUE(sameF32(f32_max(bits(3.0f), nan), bits(3.0f)));
+  EXPECT_TRUE(f32_is_nan(f32_min(nan, nan)));
+  EXPECT_TRUE(sameF32(f32_min(bits(-1.0f), bits(2.0f)), bits(-1.0f)));
+  EXPECT_TRUE(sameF32(f32_max(bits(-1.0f), bits(2.0f)), bits(2.0f)));
+}
+
+TEST(SoftFloat32, SubnormalsAndUnderflow) {
+  const float min_sub = std::numeric_limits<float>::denorm_min();
+  const float min_norm = std::numeric_limits<float>::min();
+  EXPECT_TRUE(
+      sameF32(f32_add(bits(min_sub), bits(min_sub)), bits(2 * min_sub)));
+  // Largest subnormal + smallest subnormal stays exact.
+  const float big_sub = min_norm - min_sub;
+  EXPECT_TRUE(sameF32(f32_add(bits(big_sub), bits(min_sub)), bits(min_norm)));
+  // Multiplication underflowing to subnormal range.
+  EXPECT_TRUE(
+      sameF32(f32_mul(bits(min_norm), bits(0.5f)), bits(min_norm * 0.5f)));
+  // Total underflow to zero.
+  EXPECT_TRUE(
+      sameF32(f32_mul(bits(min_sub), bits(min_sub)), bits(0.0f)));
+}
+
+TEST(SoftFloat32, OverflowToInfinity) {
+  const float max = std::numeric_limits<float>::max();
+  EXPECT_TRUE(sameF32(f32_add(bits(max), bits(max)), bits(max + max)));
+  EXPECT_TRUE(sameF32(f32_mul(bits(max), bits(2.0f)),
+                      bits(std::numeric_limits<float>::infinity())));
+}
+
+TEST(SoftFloat32, RoundToNearestEvenTieCases) {
+  // 2^24 + 1 is not representable; 2^24 + 2 is.  Adding 1.0 to 2^24 must
+  // round back down to 2^24 (tie to even).
+  const float p24 = 16777216.0f;  // 2^24
+  EXPECT_TRUE(sameF32(f32_add(bits(p24), bits(1.0f)), bits(p24)));
+  EXPECT_TRUE(sameF32(f32_add(bits(p24), bits(2.0f)), bits(p24 + 2.0f)));
+  // 2^24 + 3 rounds to 2^24 + 4 (nearest, ties even).
+  EXPECT_TRUE(sameF32(f32_add(bits(p24), bits(3.0f)), bits(p24 + 3.0f)));
+}
+
+TEST(SoftFloat32, FromInt) {
+  EXPECT_TRUE(sameF32(f32_from_i32(0), bits(0.0f)));
+  EXPECT_TRUE(sameF32(f32_from_i32(1), bits(1.0f)));
+  EXPECT_TRUE(sameF32(f32_from_i32(-7), bits(-7.0f)));
+  EXPECT_TRUE(sameF32(f32_from_i32(16777217), bits(16777217.0f)));  // rounds
+  EXPECT_TRUE(sameF32(f32_from_i32(INT32_MIN),
+                      bits(static_cast<float>(INT32_MIN))));
+}
+
+TEST(SoftFloat64, DirectedBasics) {
+  EXPECT_TRUE(sameF64(f64_add(bits(1.5), bits(2.25)), bits(3.75)));
+  EXPECT_TRUE(sameF64(f64_mul(bits(1e200), bits(1e200)),
+                      bits(std::numeric_limits<double>::infinity())));
+  // 1e-400 is below the double subnormal range: underflows to +0.
+  EXPECT_TRUE(sameF64(f64_mul(bits(1e-200), bits(1e-200)), bits(0.0)));
+  EXPECT_TRUE(f64_is_nan(f64_sub(bits(std::numeric_limits<double>::infinity()),
+                                 bits(std::numeric_limits<double>::infinity()))));
+  EXPECT_TRUE(sameF64(f64_from_i64(INT64_MAX),
+                      bits(static_cast<double>(INT64_MAX))));
+}
+
+// ---------------------------------------------------------- Differential --
+
+/// Draws interesting float bit patterns: uniform bits, small exponents,
+/// subnormals, specials.
+std::uint32_t interestingBits32(bcs::sim::Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: return static_cast<std::uint32_t>(rng());  // anything
+    case 1: return bits(static_cast<float>(rng.normal(0, 1000)));
+    case 2: return static_cast<std::uint32_t>(rng()) & 0x807FFFFFu;  // subnormal
+    case 3: return bits(std::numeric_limits<float>::infinity());
+    case 4: return bits(std::numeric_limits<float>::quiet_NaN());
+    case 5: return bits(0.0f);
+    case 6: return bits(-0.0f);
+    default: {
+      // Close exponents: exercises alignment/cancellation paths.
+      const auto exp = static_cast<std::uint32_t>(120 + rng.below(16)) << 23;
+      return (static_cast<std::uint32_t>(rng()) & 0x807FFFFFu) | exp;
+    }
+  }
+}
+
+std::uint64_t interestingBits64(bcs::sim::Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: return rng();
+    case 1: return bits(rng.normal(0, 1e6));
+    case 2: return rng() & 0x800FFFFFFFFFFFFFull;  // subnormal
+    case 3: return bits(std::numeric_limits<double>::infinity());
+    case 4: return bits(std::numeric_limits<double>::quiet_NaN());
+    case 5: return bits(0.0);
+    case 6: return bits(-0.0);
+    default: {
+      const auto exp = static_cast<std::uint64_t>(1010 + rng.below(30)) << 52;
+      return (rng() & 0x800FFFFFFFFFFFFFull) | exp;
+    }
+  }
+}
+
+TEST(SoftFloat32, DifferentialAddSubMulAgainstHost) {
+  bcs::sim::Rng rng(0xF00D);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t a = interestingBits32(rng);
+    const std::uint32_t b = interestingBits32(rng);
+    const float fa = value(a), fb = value(b);
+    ASSERT_TRUE(sameF32(f32_add(a, b), bits(fa + fb)))
+        << "add iter " << i << " a=0x" << std::hex << a << " b=0x" << b;
+    ASSERT_TRUE(sameF32(f32_sub(a, b), bits(fa - fb)))
+        << "sub iter " << i << " a=0x" << std::hex << a << " b=0x" << b;
+    ASSERT_TRUE(sameF32(f32_mul(a, b), bits(fa * fb)))
+        << "mul iter " << i << " a=0x" << std::hex << a << " b=0x" << b;
+  }
+}
+
+TEST(SoftFloat32, DifferentialComparisons) {
+  bcs::sim::Rng rng(0xBEEF);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t a = interestingBits32(rng);
+    const std::uint32_t b = interestingBits32(rng);
+    const float fa = value(a), fb = value(b);
+    ASSERT_EQ(f32_eq(a, b), fa == fb) << "iter " << i;
+    ASSERT_EQ(f32_lt(a, b), fa < fb) << "iter " << i;
+    ASSERT_EQ(f32_le(a, b), fa <= fb) << "iter " << i;
+  }
+}
+
+TEST(SoftFloat64, DifferentialAddSubMulAgainstHost) {
+  bcs::sim::Rng rng(0xCAFE);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t a = interestingBits64(rng);
+    const std::uint64_t b = interestingBits64(rng);
+    const double fa = value64(a), fb = value64(b);
+    ASSERT_TRUE(sameF64(f64_add(a, b), bits(fa + fb)))
+        << "add iter " << i << " a=0x" << std::hex << a << " b=0x" << b;
+    ASSERT_TRUE(sameF64(f64_sub(a, b), bits(fa - fb)))
+        << "sub iter " << i << " a=0x" << std::hex << a << " b=0x" << b;
+    ASSERT_TRUE(sameF64(f64_mul(a, b), bits(fa * fb)))
+        << "mul iter " << i << " a=0x" << std::hex << a << " b=0x" << b;
+  }
+}
+
+TEST(SoftFloat64, DifferentialComparisons) {
+  bcs::sim::Rng rng(0xD00D);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = interestingBits64(rng);
+    const std::uint64_t b = interestingBits64(rng);
+    const double fa = value64(a), fb = value64(b);
+    ASSERT_EQ(f64_eq(a, b), fa == fb) << "iter " << i;
+    ASSERT_EQ(f64_lt(a, b), fa < fb) << "iter " << i;
+    ASSERT_EQ(f64_le(a, b), fa <= fb) << "iter " << i;
+  }
+}
+
+TEST(SoftFloat64, DifferentialFromInt) {
+  bcs::sim::Rng rng(0xABCD);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng());
+    ASSERT_TRUE(sameF64(f64_from_i64(v), bits(static_cast<double>(v))))
+        << "iter " << i << " v=" << v;
+    const auto v32 = static_cast<std::int32_t>(rng());
+    ASSERT_TRUE(sameF32(f32_from_i32(v32), bits(static_cast<float>(v32))))
+        << "iter " << i << " v=" << v32;
+  }
+}
+
+}  // namespace

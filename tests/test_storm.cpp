@@ -1,0 +1,105 @@
+// STORM resource-manager tests: allocation, collective job launch,
+// heartbeats and fault detection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storm/storm.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::msec;
+using sim::usec;
+
+net::ClusterConfig cfgNodes(int n) {
+  net::ClusterConfig c;
+  c.num_compute_nodes = n;
+  return c;
+}
+
+TEST(Storm, AllocateFirstFitAndRelease) {
+  net::Cluster cluster(cfgNodes(4));
+  storm::Storm storm(cluster);
+  const auto a = storm.allocate(6, /*per_node=*/2);
+  EXPECT_EQ(a, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  EXPECT_EQ(storm.usedSlots(0), 2);
+  EXPECT_EQ(storm.usedSlots(3), 0);
+  const auto b = storm.allocate(2, 2);
+  EXPECT_EQ(b, (std::vector<int>{3, 3}));
+  EXPECT_THROW(storm.allocate(1, 2), sim::SimError);
+  storm.release(a);
+  EXPECT_EQ(storm.usedSlots(0), 0);
+  const auto c = storm.allocate(2, 2);
+  EXPECT_EQ(c, (std::vector<int>{0, 0}));
+}
+
+TEST(Storm, LaunchCompletesAndReportsLatency) {
+  net::Cluster cluster(cfgNodes(16));
+  storm::Storm storm(cluster);
+  std::vector<int> nodes;
+  for (int n = 0; n < 16; ++n) nodes.push_back(n);
+  sim::SimTime latency = -1;
+  storm.launchImage(nodes, /*binary_bytes=*/4 << 20, /*procs_per_node=*/2,
+                    [&](sim::SimTime lat) { latency = lat; });
+  cluster.run();
+  ASSERT_GT(latency, 0);
+  // 4 MiB at ~200 MB/s multicast delivery ≈ 21 ms, plus spawn and polling.
+  EXPECT_GT(latency, msec(15));
+  EXPECT_LT(latency, msec(40));
+}
+
+TEST(Storm, LaunchLatencyNearlyIndependentOfNodeCount) {
+  // The STORM claim: hardware-multicast launch scales O(1)-ish in nodes.
+  auto launch_time = [](int n) {
+    net::Cluster cluster(cfgNodes(n));
+    storm::Storm storm(cluster);
+    std::vector<int> nodes;
+    for (int i = 0; i < n; ++i) nodes.push_back(i);
+    sim::SimTime latency = -1;
+    storm.launchImage(nodes, 8 << 20, 2,
+                      [&](sim::SimTime lat) { latency = lat; });
+    cluster.run();
+    return latency;
+  };
+  const auto t4 = launch_time(4);
+  const auto t64 = launch_time(64);
+  ASSERT_GT(t4, 0);
+  ASSERT_GT(t64, 0);
+  EXPECT_LT(static_cast<double>(t64), 1.3 * static_cast<double>(t4));
+}
+
+TEST(Storm, HeartbeatsDetectDeadNode) {
+  net::Cluster cluster(cfgNodes(8));
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = msec(10);
+  scfg.max_missed_heartbeats = 3;
+  storm::Storm storm(cluster, scfg);
+  storm.startHeartbeats();
+  cluster.engine().at(msec(25), [&] { storm.killNode(5); });
+  cluster.engine().at(msec(200), [&] { storm.stopHeartbeats(); });
+  cluster.run();
+  EXPECT_GE(storm.heartbeatsSent(), 15u);
+  EXPECT_FALSE(storm.nodeAlive(5));
+  for (int n = 0; n < 8; ++n) {
+    if (n != 5) EXPECT_TRUE(storm.nodeAlive(n)) << n;
+  }
+  EXPECT_EQ(storm.deadNodes(), std::vector<int>{5});
+}
+
+TEST(Storm, DeadNodesAreSkippedByAllocation) {
+  net::Cluster cluster(cfgNodes(4));
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = msec(5);
+  storm::Storm storm(cluster, scfg);
+  storm.killNode(1);
+  storm.startHeartbeats();
+  cluster.engine().at(msec(100), [&] { storm.stopHeartbeats(); });
+  cluster.run();
+  ASSERT_FALSE(storm.nodeAlive(1));
+  const auto a = storm.allocate(6, 2);
+  EXPECT_EQ(a, (std::vector<int>{0, 0, 2, 2, 3, 3}));
+}
+
+}  // namespace
