@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chunk"
+  "../bench/bench_ablation_chunk.pdb"
+  "CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o"
+  "CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_sage"
+  "../bench/bench_fig10_sage.pdb"
+  "CMakeFiles/bench_fig10_sage.dir/bench_fig10_sage.cpp.o"
+  "CMakeFiles/bench_fig10_sage.dir/bench_fig10_sage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

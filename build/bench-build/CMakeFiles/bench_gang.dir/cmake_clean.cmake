@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gang"
+  "../bench/bench_gang.pdb"
+  "CMakeFiles/bench_gang.dir/bench_gang.cpp.o"
+  "CMakeFiles/bench_gang.dir/bench_gang.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_storm_launch"
+  "../bench/bench_storm_launch.pdb"
+  "CMakeFiles/bench_storm_launch.dir/bench_storm_launch.cpp.o"
+  "CMakeFiles/bench_storm_launch.dir/bench_storm_launch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storm_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_fault_tolerance.dir/checkpoint_fault_tolerance.cpp.o"
+  "CMakeFiles/checkpoint_fault_tolerance.dir/checkpoint_fault_tolerance.cpp.o.d"
+  "checkpoint_fault_tolerance"
+  "checkpoint_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_gang.dir/multi_job_gang.cpp.o"
+  "CMakeFiles/multi_job_gang.dir/multi_job_gang.cpp.o.d"
+  "multi_job_gang"
+  "multi_job_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

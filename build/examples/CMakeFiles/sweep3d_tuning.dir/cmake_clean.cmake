@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep3d_tuning.dir/sweep3d_tuning.cpp.o"
+  "CMakeFiles/sweep3d_tuning.dir/sweep3d_tuning.cpp.o.d"
+  "sweep3d_tuning"
+  "sweep3d_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep3d_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/nas.cpp" "src/apps/CMakeFiles/bcs_apps.dir/nas.cpp.o" "gcc" "src/apps/CMakeFiles/bcs_apps.dir/nas.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/bcs_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/bcs_apps.dir/synthetic.cpp.o.d"
+  "/root/repo/src/apps/wavefront.cpp" "src/apps/CMakeFiles/bcs_apps.dir/wavefront.cpp.o" "gcc" "src/apps/CMakeFiles/bcs_apps.dir/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/bcs_mpi_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/bcs_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_apps.dir/nas.cpp.o"
+  "CMakeFiles/bcs_apps.dir/nas.cpp.o.d"
+  "CMakeFiles/bcs_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/bcs_apps.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bcs_apps.dir/wavefront.cpp.o"
+  "CMakeFiles/bcs_apps.dir/wavefront.cpp.o.d"
+  "libbcs_apps.a"
+  "libbcs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

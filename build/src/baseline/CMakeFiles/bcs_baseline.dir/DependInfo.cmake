@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/comm.cpp" "src/baseline/CMakeFiles/bcs_baseline.dir/comm.cpp.o" "gcc" "src/baseline/CMakeFiles/bcs_baseline.dir/comm.cpp.o.d"
+  "/root/repo/src/baseline/world.cpp" "src/baseline/CMakeFiles/bcs_baseline.dir/world.cpp.o" "gcc" "src/baseline/CMakeFiles/bcs_baseline.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/bcs_mpi_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/bcs_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

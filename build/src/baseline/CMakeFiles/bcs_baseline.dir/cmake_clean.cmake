@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_baseline.dir/comm.cpp.o"
+  "CMakeFiles/bcs_baseline.dir/comm.cpp.o.d"
+  "CMakeFiles/bcs_baseline.dir/world.cpp.o"
+  "CMakeFiles/bcs_baseline.dir/world.cpp.o.d"
+  "libbcs_baseline.a"
+  "libbcs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcs_baseline.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_core.dir/core.cpp.o"
+  "CMakeFiles/bcs_core.dir/core.cpp.o.d"
+  "libbcs_core.a"
+  "libbcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

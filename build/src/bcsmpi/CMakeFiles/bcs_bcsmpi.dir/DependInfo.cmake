@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcsmpi/api.cpp" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/api.cpp.o" "gcc" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/api.cpp.o.d"
+  "/root/repo/src/bcsmpi/collectives.cpp" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/collectives.cpp.o" "gcc" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/bcsmpi/comm.cpp" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/comm.cpp.o" "gcc" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/bcsmpi/phases.cpp" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/phases.cpp.o" "gcc" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/phases.cpp.o.d"
+  "/root/repo/src/bcsmpi/runtime.cpp" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/runtime.cpp.o" "gcc" "src/bcsmpi/CMakeFiles/bcs_bcsmpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bcs/CMakeFiles/bcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/bcs_mpi_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/bcs_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_bcsmpi.dir/api.cpp.o"
+  "CMakeFiles/bcs_bcsmpi.dir/api.cpp.o.d"
+  "CMakeFiles/bcs_bcsmpi.dir/collectives.cpp.o"
+  "CMakeFiles/bcs_bcsmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/bcs_bcsmpi.dir/comm.cpp.o"
+  "CMakeFiles/bcs_bcsmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/bcs_bcsmpi.dir/phases.cpp.o"
+  "CMakeFiles/bcs_bcsmpi.dir/phases.cpp.o.d"
+  "CMakeFiles/bcs_bcsmpi.dir/runtime.cpp.o"
+  "CMakeFiles/bcs_bcsmpi.dir/runtime.cpp.o.d"
+  "libbcs_bcsmpi.a"
+  "libbcs_bcsmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_bcsmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/bcs_mpi_iface.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/bcs_mpi_iface.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/reduce_ops.cpp" "src/mpi/CMakeFiles/bcs_mpi_iface.dir/reduce_ops.cpp.o" "gcc" "src/mpi/CMakeFiles/bcs_mpi_iface.dir/reduce_ops.cpp.o.d"
+  "/root/repo/src/mpi/types.cpp" "src/mpi/CMakeFiles/bcs_mpi_iface.dir/types.cpp.o" "gcc" "src/mpi/CMakeFiles/bcs_mpi_iface.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/bcs_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

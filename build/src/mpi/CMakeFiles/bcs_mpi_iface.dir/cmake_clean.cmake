@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_mpi_iface.dir/comm.cpp.o"
+  "CMakeFiles/bcs_mpi_iface.dir/comm.cpp.o.d"
+  "CMakeFiles/bcs_mpi_iface.dir/reduce_ops.cpp.o"
+  "CMakeFiles/bcs_mpi_iface.dir/reduce_ops.cpp.o.d"
+  "CMakeFiles/bcs_mpi_iface.dir/types.cpp.o"
+  "CMakeFiles/bcs_mpi_iface.dir/types.cpp.o.d"
+  "libbcs_mpi_iface.a"
+  "libbcs_mpi_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_mpi_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_net.dir/cluster.cpp.o"
+  "CMakeFiles/bcs_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/bcs_net.dir/fabric.cpp.o"
+  "CMakeFiles/bcs_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/bcs_net.dir/params.cpp.o"
+  "CMakeFiles/bcs_net.dir/params.cpp.o.d"
+  "CMakeFiles/bcs_net.dir/topology.cpp.o"
+  "CMakeFiles/bcs_net.dir/topology.cpp.o.d"
+  "libbcs_net.a"
+  "libbcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_sim.dir/cpu.cpp.o"
+  "CMakeFiles/bcs_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/bcs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/fiber.cpp.o"
+  "CMakeFiles/bcs_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/noise.cpp.o"
+  "CMakeFiles/bcs_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/process.cpp.o"
+  "CMakeFiles/bcs_sim.dir/process.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/rng.cpp.o"
+  "CMakeFiles/bcs_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/stats.cpp.o"
+  "CMakeFiles/bcs_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/time.cpp.o"
+  "CMakeFiles/bcs_sim.dir/time.cpp.o.d"
+  "CMakeFiles/bcs_sim.dir/trace.cpp.o"
+  "CMakeFiles/bcs_sim.dir/trace.cpp.o.d"
+  "libbcs_sim.a"
+  "libbcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_softfloat.dir/softfloat.cpp.o"
+  "CMakeFiles/bcs_softfloat.dir/softfloat.cpp.o.d"
+  "libbcs_softfloat.a"
+  "libbcs_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcs_storm.dir/storm.cpp.o"
+  "CMakeFiles/bcs_storm.dir/storm.cpp.o.d"
+  "libbcs_storm.a"
+  "libbcs_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcs_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

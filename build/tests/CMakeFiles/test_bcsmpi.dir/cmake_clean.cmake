@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcsmpi.dir/test_bcsmpi.cpp.o"
+  "CMakeFiles/test_bcsmpi.dir/test_bcsmpi.cpp.o.d"
+  "test_bcsmpi"
+  "test_bcsmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcsmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_iface.dir/test_mpi_iface.cpp.o"
+  "CMakeFiles/test_mpi_iface.dir/test_mpi_iface.cpp.o.d"
+  "test_mpi_iface"
+  "test_mpi_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_internals.dir/test_runtime_internals.cpp.o"
+  "CMakeFiles/test_runtime_internals.dir/test_runtime_internals.cpp.o.d"
+  "test_runtime_internals"
+  "test_runtime_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

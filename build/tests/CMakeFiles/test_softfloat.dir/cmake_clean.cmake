@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfloat.dir/test_softfloat.cpp.o"
+  "CMakeFiles/test_softfloat.dir/test_softfloat.cpp.o.d"
+  "test_softfloat"
+  "test_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build/tests/test_net")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_softfloat "/root/repo/build/tests/test_softfloat")
+set_tests_properties(test_softfloat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baseline "/root/repo/build/tests/test_baseline")
+set_tests_properties(test_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bcsmpi "/root/repo/build/tests/test_bcsmpi")
+set_tests_properties(test_bcsmpi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps "/root/repo/build/tests/test_apps")
+set_tests_properties(test_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_storm "/root/repo/build/tests/test_storm")
+set_tests_properties(test_storm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mpi_iface "/root/repo/build/tests/test_mpi_iface")
+set_tests_properties(test_mpi_iface PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime_internals "/root/repo/build/tests/test_runtime_internals")
+set_tests_properties(test_runtime_internals PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_edge_cases "/root/repo/build/tests/test_edge_cases")
+set_tests_properties(test_edge_cases PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;bcs_add_test;/root/repo/tests/CMakeLists.txt;0;")
