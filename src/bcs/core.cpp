@@ -136,10 +136,18 @@ void BcsCore::xferAndSignal(XferRequest req) {
 
   if (st->dest_nodes.size() == 1) {
     const int dest = st->dest_nodes.front();
-    fabric_.unicast(st->src_node, dest, st->bytes, [per_dest, all_done, dest] {
-      per_dest(dest);
-      all_done();
-    });
+    net::SendOptions opts;
+    opts.droppable = st->droppable;
+    if (st->on_failed) {
+      opts.on_failed = [st, dest] { st->on_failed(dest); };
+    }
+    fabric_.unicast(
+        st->src_node, dest, st->bytes,
+        [per_dest, all_done, dest] {
+          per_dest(dest);
+          all_done();
+        },
+        /*on_injected=*/{}, std::move(opts));
     return;
   }
   fabric_.multicast(st->src_node, st->dest_nodes, st->bytes,

@@ -62,6 +62,13 @@ struct XferRequest {
   GlobalEventId local_event = -1;
   /// Event signaled on every destination at its delivery instant (-1=none).
   GlobalEventId remote_event = -1;
+  /// Marks the transfer as subject to random loss under an attached
+  /// FaultInjector.  Only honoured on the single-destination (unicast) path;
+  /// hardware multicast is reliable.
+  bool droppable = false;
+  /// Invoked (instead of deliver/local_event) when a single-destination
+  /// transfer is lost or the endpoint is down.  Without it, loss is silent.
+  std::function<void(int dest)> on_failed;
 };
 
 /// Parameters of one Compare-And-Write invocation.

@@ -40,6 +40,12 @@ struct BcsMpiConfig {
   /// Wire size of one communication descriptor.
   std::size_t descriptor_bytes = 128;
 
+  /// Bound on per-descriptor retransmissions after network loss.  A
+  /// descriptor that fails this many times has its request completed in
+  /// error rather than retried forever (the slice-per-retry cadence makes
+  /// runaway retry loops expensive and easy to bound).
+  int max_descriptor_retries = 64;
+
   /// NIC-thread processing cost per descriptor (BS dispatch / BR intake).
   Duration nic_desc_processing = sim::usec(0.3);
 

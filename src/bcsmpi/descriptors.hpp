@@ -26,6 +26,7 @@ struct SendDescriptor {
   std::uint64_t request = 0;        ///< completion handle at the source rank
   sim::SimTime posted_at = 0;
   std::uint64_t seq = 0;            ///< global posting order (FIFO tiebreak)
+  int retries = 0;                  ///< DEM retransmissions so far
 };
 
 /// Posted to the Buffer Receiver by MPI_Recv / MPI_Irecv.

@@ -90,13 +90,26 @@ void Runtime::runDem(int node, std::uint64_t seq) {
 void Runtime::drainDescriptorFifos(int node) {
   NodeState& ns = nodeState(node);
   std::vector<SendDescriptor> to_exchange;
+  // Retransmissions first: they are older than anything still in the fresh
+  // FIFO, so draining them first preserves posting order as far as possible.
+  while (!ns.bs_retry.empty()) {
+    to_exchange.push_back(ns.bs_retry.front());
+    ns.bs_retry.pop_front();
+  }
   while (!ns.bs_fresh.empty()) {
     to_exchange.push_back(ns.bs_fresh.front());
     ns.bs_fresh.pop_front();
   }
   while (!ns.recv_fresh.empty()) {
-    ns.recv_eligible.push_back(ns.recv_fresh.front());
+    RecvDescriptor r = ns.recv_fresh.front();
     ns.recv_fresh.pop_front();
+    if (r.want_src != mpi::kAnySource &&
+        nodeEvicted(nodeOfRank(r.job, r.want_src))) {
+      // Posted after the wanted source's node was evicted: can never match.
+      failRequest(r.job, r.dst_rank, r.request, r.want_src, r.want_tag);
+      continue;
+    }
+    ns.recv_eligible.push_back(std::move(r));
   }
   const int coll_processed = preprocessCollectivesCount(node);
 
@@ -110,16 +123,23 @@ void Runtime::drainDescriptorFifos(int node) {
   }
 
   // BS: deliver each send descriptor to the destination node's BR.  The
-  // phase completes when every descriptor has landed (tracked through the
-  // per-op tokens; the transfer itself is one Xfer-And-Signal).
+  // phase completes when every descriptor has landed or its loss has been
+  // detected (tracked through the per-op tokens; the transfer itself is one
+  // Xfer-And-Signal).  A dropped descriptor is retransmitted in the next
+  // slice's DEM — never lost silently.
   for (const SendDescriptor& d : to_exchange) {
+    const int dst_node = nodeOfRank(d.job, d.dst_rank);
+    if (nodeEvicted(dst_node)) {
+      failRequest(d.job, d.src_rank, d.request, d.dst_rank, d.tag);
+      continue;
+    }
     opStarted(node);
     ++stats_.descriptors_exchanged;
-    const int dst_node = nodeOfRank(d.job, d.dst_rank);
     core::XferRequest xfer;
     xfer.src_node = node;
     xfer.dest_nodes = {dst_node};
     xfer.bytes = config_.descriptor_bytes;
+    xfer.droppable = true;
     xfer.deliver = [this, node, dst_node, d](int) {
       nodeState(dst_node).remote_sends.push_back(d);
       if (trace_) {
@@ -128,6 +148,29 @@ void Runtime::drainDescriptorFifos(int node) {
                        "send desc from rank " + std::to_string(d.src_rank) +
                            " tag " + std::to_string(d.tag) + " (" +
                            std::to_string(d.bytes) + "B)");
+      }
+      opFinished(node);
+    };
+    xfer.on_failed = [this, node, dst_node, d](int) {
+      if (nodeEvicted(node)) {  // we died while the descriptor was in flight
+        opFinished(node);
+        return;
+      }
+      if (nodeEvicted(dst_node) || d.retries >= config_.max_descriptor_retries) {
+        failRequest(d.job, d.src_rank, d.request, d.dst_rank, d.tag);
+      } else {
+        SendDescriptor retry = d;
+        ++retry.retries;
+        ++stats_.retransmits;
+        if (trace_) {
+          trace_->record(cluster_.engine().now(), sim::TraceCategory::kFault,
+                         node,
+                         "desc to rank " + std::to_string(d.dst_rank) +
+                             " tag " + std::to_string(d.tag) +
+                             " lost; retransmit #" +
+                             std::to_string(retry.retries) + " next slice");
+        }
+        nodeState(node).bs_retry.push_back(std::move(retry));
       }
       opFinished(node);
     };
@@ -147,6 +190,12 @@ int Runtime::preprocessCollectivesCount(int node) {
     ns.coll_fresh.pop_front();
     ++processed;
 
+    if (jobState(d.job).degraded) {
+      // A collective over a job that lost ranks can never be globally
+      // scheduled (the dead node's flag variable will not advance).
+      failRequest(d.job, d.rank, d.request, mpi::kAnySource, mpi::kAnyTag);
+      continue;
+    }
     PendingCollective& pc = ns.pending_coll[d.job];
     if (!pc.active) {
       pc.active = true;
@@ -204,13 +253,18 @@ void Runtime::runMsm(int node, std::uint64_t seq) {
 
 void Runtime::matchDescriptors(int node, Duration& cost) {
   NodeState& ns = nodeState(node);
-  // For each posted receive (in post order) find the first matching remote
-  // send descriptor (in arrival order) — FIFO matching preserves MPI's
-  // non-overtaking guarantee per (source, tag).
+  // For each posted receive (in post order) find the matching remote send
+  // descriptor with the lowest posting sequence — matching by seq rather
+  // than arrival order preserves MPI's non-overtaking guarantee per
+  // (source, tag) even when a retransmitted descriptor arrives a slice
+  // later than a younger one.
   for (auto rit = ns.recv_eligible.begin(); rit != ns.recv_eligible.end();) {
-    auto sit = std::find_if(
-        ns.remote_sends.begin(), ns.remote_sends.end(),
-        [&](const SendDescriptor& s) { return matches(*rit, s); });
+    auto sit = ns.remote_sends.end();
+    for (auto cand = ns.remote_sends.begin(); cand != ns.remote_sends.end();
+         ++cand) {
+      if (!matches(*rit, *cand)) continue;
+      if (sit == ns.remote_sends.end() || cand->seq < sit->seq) sit = cand;
+    }
     if (sit == ns.remote_sends.end()) {
       ++rit;
       continue;
@@ -314,6 +368,13 @@ void Runtime::runP2p(int node, std::uint64_t seq) {
                  static_cast<Duration>(gets.size()) *
                      config_.nic_desc_processing);
   for (const GetOp& op : gets) {
+    const auto key = std::make_tuple(op.job, op.dst_rank, op.recv_req);
+    if (nodeEvicted(op.src_node)) {
+      // Source died between scheduling and this phase.
+      failRequest(op.job, op.dst_rank, op.recv_req, op.src_rank, op.tag);
+      nodeState(node).chunk_progress.erase(key);
+      continue;
+    }
     opStarted(node);
     ++stats_.chunks_transferred;
     // The DH reads directly from the source process's memory — a one-sided
@@ -323,7 +384,8 @@ void Runtime::runP2p(int node, std::uint64_t seq) {
     xfer.src_node = op.src_node;
     xfer.dest_nodes = {node};
     xfer.bytes = op.bytes;
-    xfer.deliver = [this, node, op](int) {
+    xfer.droppable = true;
+    xfer.deliver = [this, node, op, key](int) {
       std::memcpy(op.dst, op.src, op.bytes);
       if (trace_) {
         trace_->record(cluster_.engine().now(), sim::TraceCategory::kDma,
@@ -332,11 +394,41 @@ void Runtime::runP2p(int node, std::uint64_t seq) {
                            std::to_string(op.src_rank) +
                            (op.final_chunk ? " (final)" : ""));
       }
-      if (op.final_chunk) {
+      // Completion is by byte count, not by the final-chunk flag: under
+      // retransmission an earlier chunk can land *after* the final one.
+      NodeState& my = nodeState(node);
+      std::size_t& got = my.chunk_progress[key];
+      got += op.bytes;
+      if (got >= op.message_bytes) {
+        my.chunk_progress.erase(key);
         completeRequest(op.job, op.dst_rank, op.recv_req, op.src_rank, op.tag,
                         op.message_bytes);
         completeRequest(op.job, op.src_rank, op.send_req, op.dst_rank, op.tag,
                         op.message_bytes);
+      }
+      opFinished(node);
+    };
+    xfer.on_failed = [this, node, op, key](int) {
+      if (nodeEvicted(node)) {
+        // We (the receiving node) died mid-flight; release the live sender.
+        failRequest(op.job, op.src_rank, op.send_req, op.dst_rank, op.tag);
+        opFinished(node);
+        return;
+      }
+      if (nodeEvicted(op.src_node)) {
+        failRequest(op.job, op.dst_rank, op.recv_req, op.src_rank, op.tag);
+        nodeState(node).chunk_progress.erase(key);
+      } else {
+        // Random loss: re-issue the same get in the next slice's P2P.
+        ++stats_.retransmits;
+        if (trace_) {
+          trace_->record(cluster_.engine().now(), sim::TraceCategory::kFault,
+                         node,
+                         "chunk " + std::to_string(op.bytes) +
+                             "B from rank " + std::to_string(op.src_rank) +
+                             " lost; retrying next slice");
+        }
+        nodeState(node).slice_gets.push_back(op);
       }
       opFinished(node);
     };

@@ -37,6 +37,8 @@ Runtime::Runtime(net::Cluster& cluster, BcsMpiConfig config)
   for (int n = 0; n < cluster.numComputeNodes(); ++n) {
     all_compute_nodes_.push_back(n);
   }
+  live_compute_nodes_ = all_compute_nodes_;
+  evicted_.assign(static_cast<std::size_t>(cluster.numComputeNodes()), 0);
   phase_done_var_ = core_.allocVar("phase_done", 0);
   strobe_event_ = core_.allocEvent("microstrobe");
   coll_done_event_ = core_.allocEvent("collective-done");
@@ -282,14 +284,43 @@ void Runtime::completeRequest(int job, int rank, std::uint64_t req, int peer,
                               int tag, std::size_t bytes) {
   RankState& rs = rankState(job, rank);
   auto it = rs.requests.find(req);
-  if (it == rs.requests.end()) return;
+  if (it == rs.requests.end() || it->second.complete) return;
   it->second.complete = true;
   it->second.status.source = peer;
   it->second.status.tag = tag;
   it->second.status.bytes = bytes;
   ++rs.requests_completed;
+  if (nodeEvicted(rs.node)) return;  // a dead rank is never woken
   if (it->second.spin_waited) {
     // A busy-polling MPI_Wait sees the flag flip right away (Figure 2(b)).
+    if (rs.proc) rs.proc->wake();
+  } else {
+    nodeState(rs.node).wake_list.emplace_back(job, rank);
+  }
+}
+
+void Runtime::failRequest(int job, int rank, std::uint64_t req, int peer,
+                          int tag) {
+  RankState& rs = rankState(job, rank);
+  auto it = rs.requests.find(req);
+  if (it == rs.requests.end() || it->second.complete) return;
+  it->second.complete = true;
+  it->second.status.source = peer;
+  it->second.status.tag = tag;
+  it->second.status.bytes = 0;
+  it->second.status.error = mpi::kErrPeerUnreachable;
+  ++rs.requests_completed;
+  ++stats_.requests_failed;
+  if (trace_) {
+    trace_->record(cluster_.engine().now(), sim::TraceCategory::kFault,
+                   rs.node,
+                   "request " + std::to_string(req) + " of j" +
+                       std::to_string(job) + "/r" + std::to_string(rank) +
+                       " failed: peer rank " + std::to_string(peer) +
+                       " unreachable");
+  }
+  if (nodeEvicted(rs.node)) return;
+  if (it->second.spin_waited) {
     if (rs.proc) rs.proc->wake();
   } else {
     nodeState(rs.node).wake_list.emplace_back(job, rank);
@@ -304,6 +335,17 @@ void Runtime::startSlice() {
   if (stop_requested_) {
     strobing_ = false;
     return;
+  }
+  if (!pending_evictions_.empty()) {
+    // Recovery slice: the microphases of the previous slice completed
+    // without the dead node (it left the poll set the moment STORM declared
+    // it), so the survivors are globally consistent here — scrub the queues,
+    // fail what can no longer complete, checkpoint the rest.
+    performRecovery();
+    if (stop_requested_ || live_compute_nodes_.empty()) {
+      strobing_ = false;
+      return;
+    }
   }
   if (!checkpoint_cbs_.empty()) {
     // Slice boundary: the previous slice's transfers are all complete, so
@@ -361,6 +403,12 @@ CheckpointRecord Runtime::snapshot() const {
 }
 
 void Runtime::strobePhase(Phase p) {
+  if (live_compute_nodes_.empty()) {
+    // Every compute node was evicted mid-slice; nothing left to strobe.
+    maybeStop();
+    strobing_ = false;
+    return;
+  }
   const std::uint64_t seq = ++phase_seq_;
   ++stats_.microstrobes;
   if (trace_) {
@@ -371,7 +419,7 @@ void Runtime::strobePhase(Phase p) {
   }
   core::XferRequest strobe;
   strobe.src_node = cluster_.managementNode();
-  strobe.dest_nodes = all_compute_nodes_;
+  strobe.dest_nodes = live_compute_nodes_;
   strobe.bytes = 16;  // phase id + sequence number
   strobe.deliver = [this, p, seq](int node) { onStrobe(node, p, seq); };
   core_.xferAndSignal(std::move(strobe));
@@ -379,9 +427,16 @@ void Runtime::strobePhase(Phase p) {
 }
 
 void Runtime::pollPhaseDone(Phase p, std::uint64_t seq) {
+  if (live_compute_nodes_.empty()) {
+    phaseComplete(p);
+    return;
+  }
+  // The node set is rebuilt on every poll round, so an eviction that happens
+  // while a phase is stuck immediately unblocks the next poll: the dead node
+  // (whose phase_done can never advance) is simply no longer asked.
   core::CompareAndWriteRequest req;
   req.src_node = cluster_.managementNode();
-  req.nodes = all_compute_nodes_;
+  req.nodes = live_compute_nodes_;
   req.var = phase_done_var_;
   req.op = core::CmpOp::kGE;
   req.value = static_cast<std::int64_t>(seq);
@@ -459,12 +514,161 @@ void Runtime::beginNodePhase(int node, std::uint64_t seq, Duration floor,
 }
 
 void Runtime::onStrobe(int node, Phase p, std::uint64_t seq) {
+  if (nodeEvicted(node)) return;  // strobe raced an eviction
   switch (p) {
     case Phase::kDem: runDem(node, seq); return;
     case Phase::kMsm: runMsm(node, seq); return;
     case Phase::kP2p: runP2p(node, seq); return;
     case Phase::kBbm: runBbm(node, seq); return;
     case Phase::kRm: runRm(node, seq); return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------------
+
+void Runtime::notifyNodeFailure(int node) {
+  if (node < 0 || node >= cluster_.numComputeNodes() || nodeEvicted(node)) {
+    return;
+  }
+  evicted_[static_cast<std::size_t>(node)] = 1;
+  ++stats_.evictions;
+  live_compute_nodes_.erase(std::remove(live_compute_nodes_.begin(),
+                                        live_compute_nodes_.end(), node),
+                            live_compute_nodes_.end());
+  pending_evictions_.push_back(node);
+  if (trace_) {
+    trace_->record(cluster_.engine().now(), sim::TraceCategory::kFault, node,
+                   "node evicted; recovery at next slice boundary");
+  }
+}
+
+void Runtime::performRecovery() {
+  ++stats_.recovery_slices;
+  std::vector<int> dead;
+  dead.swap(pending_evictions_);
+  for (int node : dead) evictNodeState(node);
+  // The survivors' state is globally consistent at this boundary (the dead
+  // node completed no transfers after leaving the poll set): take the
+  // coordinated checkpoint the paper's §6 sketches.
+  recovery_records_.push_back(snapshot());
+  if (trace_) {
+    trace_->record(cluster_.engine().now(), sim::TraceCategory::kFault, -1,
+                   "recovery complete: " + std::to_string(dead.size()) +
+                       " node(s) evicted, checkpoint at slice " +
+                       std::to_string(slice_index_));
+  }
+  maybeStop();
+}
+
+void Runtime::evictNodeState(int node) {
+  NodeState& dead_ns = nodeState(node);
+
+  // 1. Requests of *live* ranks whose completion depended on the dead node's
+  //    local queues.  (The counterpart descriptor lives on the dead node and
+  //    will be discarded below.)
+  for (const SendDescriptor& s : dead_ns.remote_sends) {
+    // A send whose descriptor reached the dead BR but never matched: the
+    // (live) sender's request can no longer complete.
+    failRequest(s.job, s.src_rank, s.request, s.dst_rank, s.tag);
+  }
+  for (const MatchDescriptor& m : dead_ns.match_queue) {
+    failRequest(m.send.job, m.send.src_rank, m.send.request, m.recv.dst_rank,
+                m.send.tag);
+  }
+  for (const GetOp& op : dead_ns.slice_gets) {
+    // Chunks the dead DH would have pulled from live senders.
+    failRequest(op.job, op.src_rank, op.send_req, op.dst_rank, op.tag);
+  }
+
+  // 2. Ranks on the dead node are gone; their jobs run degraded.
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    JobState& js = jobs_[j];
+    for (std::size_t r = 0; r < js.ranks.size(); ++r) {
+      if (js.node_of_rank[r] != node || js.ranks[r].finished) continue;
+      js.degraded = true;
+      rankFinished(static_cast<int>(j), static_cast<int>(r));
+    }
+  }
+
+  // 3. Drop every queue of the dead node (its NIC memory is unreachable).
+  dead_ns = NodeState{};
+
+  // 4. Scrub the survivors' queues of work pinned to the dead node.
+  for (int n : live_compute_nodes_) {
+    NodeState& ns = nodeState(n);
+    auto send_to_dead = [this, node](const SendDescriptor& s) {
+      if (nodeOfRank(s.job, s.dst_rank) != node) return false;
+      failRequest(s.job, s.src_rank, s.request, s.dst_rank, s.tag);
+      return true;
+    };
+    ns.bs_fresh.erase(
+        std::remove_if(ns.bs_fresh.begin(), ns.bs_fresh.end(), send_to_dead),
+        ns.bs_fresh.end());
+    ns.bs_retry.erase(
+        std::remove_if(ns.bs_retry.begin(), ns.bs_retry.end(), send_to_dead),
+        ns.bs_retry.end());
+    auto recv_from_dead = [this, node](const RecvDescriptor& r) {
+      if (r.want_src == mpi::kAnySource ||
+          nodeOfRank(r.job, r.want_src) != node) {
+        return false;
+      }
+      failRequest(r.job, r.dst_rank, r.request, r.want_src, r.want_tag);
+      return true;
+    };
+    ns.recv_fresh.erase(std::remove_if(ns.recv_fresh.begin(),
+                                       ns.recv_fresh.end(), recv_from_dead),
+                        ns.recv_fresh.end());
+    ns.recv_eligible.erase(
+        std::remove_if(ns.recv_eligible.begin(), ns.recv_eligible.end(),
+                       recv_from_dead),
+        ns.recv_eligible.end());
+    // Descriptors that arrived *from* ranks of the dead node can never be
+    // paid off by a DH get; discard them so probes stop seeing ghosts.
+    ns.remote_sends.erase(
+        std::remove_if(ns.remote_sends.begin(), ns.remote_sends.end(),
+                       [this, node](const SendDescriptor& s) {
+                         return nodeOfRank(s.job, s.src_rank) == node;
+                       }),
+        ns.remote_sends.end());
+    ns.match_queue.erase(
+        std::remove_if(ns.match_queue.begin(), ns.match_queue.end(),
+                       [this, node, &ns](const MatchDescriptor& m) {
+                         if (nodeOfRank(m.send.job, m.send.src_rank) != node) {
+                           return false;
+                         }
+                         failRequest(m.recv.job, m.recv.dst_rank,
+                                     m.recv.request, m.send.src_rank,
+                                     m.send.tag);
+                         ns.chunk_progress.erase(std::make_tuple(
+                             m.recv.job, m.recv.dst_rank, m.recv.request));
+                         return true;
+                       }),
+        ns.match_queue.end());
+    ns.slice_gets.erase(
+        std::remove_if(ns.slice_gets.begin(), ns.slice_gets.end(),
+                       [this, node, &ns](const GetOp& op) {
+                         if (op.src_node != node) return false;
+                         failRequest(op.job, op.dst_rank, op.recv_req,
+                                     op.src_rank, op.tag);
+                         ns.chunk_progress.erase(std::make_tuple(
+                             op.job, op.dst_rank, op.recv_req));
+                         return true;
+                       }),
+        ns.slice_gets.end());
+    // Collectives of a degraded job can never be globally scheduled (the
+    // dead node's flag variable will not advance): fail the ones that have
+    // not started executing.  A collective already mid-execution is left
+    // alone — see DESIGN.md, "Fault model", documented limitations.
+    for (auto& [job, pc] : ns.pending_coll) {
+      if (!pc.active || pc.executing || !jobState(job).degraded) continue;
+      for (const CollectiveDescriptor& d : pc.local) {
+        failRequest(d.job, d.rank, d.request, mpi::kAnySource, mpi::kAnyTag);
+      }
+      pc.active = false;
+      pc.local.clear();
+    }
   }
 }
 

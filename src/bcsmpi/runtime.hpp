@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -100,6 +101,11 @@ struct RuntimeStats {
   std::uint64_t chunks_transferred = 0;
   std::uint64_t collectives_scheduled = 0;
   std::uint64_t slice_overruns = 0;  ///< slices whose phases ran past period
+  // Fault handling (zero on a fault-free run):
+  std::uint64_t retransmits = 0;      ///< descriptors/chunks re-sent after loss
+  std::uint64_t requests_failed = 0;  ///< requests completed in error
+  std::uint64_t evictions = 0;        ///< nodes declared dead and excluded
+  std::uint64_t recovery_slices = 0;  ///< slices that opened with a recovery
 };
 
 class Runtime {
@@ -167,6 +173,26 @@ class Runtime {
   /// exposed for tests.
   CheckpointRecord snapshot() const;
 
+  // ---- Fault handling ----
+
+  /// Declares a compute node dead (typically wired to STORM's heartbeat
+  /// death handler).  The node leaves the strobe/poll sets immediately — so
+  /// the microphase in flight can still complete — and the full recovery
+  /// (coordinated checkpoint of the survivors, queue scrubbing, failing of
+  /// requests that can no longer complete) runs at the next slice boundary.
+  /// Idempotent.
+  void notifyNodeFailure(int node);
+
+  bool nodeEvicted(int node) const {
+    return node >= 0 && node < static_cast<int>(evicted_.size()) &&
+           evicted_[static_cast<std::size_t>(node)] != 0;
+  }
+
+  /// Coordinated checkpoints taken by recovery slices, in eviction order.
+  const std::vector<CheckpointRecord>& recoveryCheckpoints() const {
+    return recovery_records_;
+  }
+
  private:
   struct ReqInfo {
     bool complete = false;
@@ -190,6 +216,7 @@ class Runtime {
     core::GlobalVarId coll_sched = -1;  ///< highest globally scheduled gen
     int registered = 0;
     int finished = 0;
+    bool degraded = false;  ///< lost at least one rank to a node eviction
   };
 
   /// Per-(node, job) state of the single outstanding collective.
@@ -232,6 +259,7 @@ class Runtime {
   struct NodeState {
     // Buffer Sender
     std::deque<SendDescriptor> bs_fresh;
+    std::deque<SendDescriptor> bs_retry;  ///< lost in DEM, resent next slice
     // Buffer Receiver
     std::deque<SendDescriptor> remote_sends;   ///< arrived during DEMs
     std::deque<RecvDescriptor> recv_fresh;     ///< posted by local ranks
@@ -241,6 +269,11 @@ class Runtime {
     std::map<int, PendingCollective> pending_coll;  ///< by job id
     // DMA Helper work for the current slice
     std::vector<GetOp> slice_gets;
+    /// Bytes landed so far per in-progress message, keyed by
+    /// (job, dst_rank, recv_req).  Under retransmission a retried earlier
+    /// chunk may deliver *after* the message's final chunk, so completion is
+    /// driven by byte accounting, not by the final-chunk flag.
+    std::map<std::tuple<int, int, std::uint64_t>, std::size_t> chunk_progress;
     // Node Manager
     std::vector<std::pair<int, int>> wake_list;   ///< (job, rank)
     std::vector<std::pair<int, int>> probe_waiters;
@@ -292,7 +325,14 @@ class Runtime {
   ReqInfo& reqInfo(int job, int rank, std::uint64_t req);
   void completeRequest(int job, int rank, std::uint64_t req, int peer,
                        int tag, std::size_t bytes);
+  /// Completes a request *in error* (peer unreachable).  Idempotent; never
+  /// wakes ranks living on evicted nodes.
+  void failRequest(int job, int rank, std::uint64_t req, int peer, int tag);
   void wakeAtSliceStart(int node);
+
+  // Fault recovery (runtime.cpp)
+  void performRecovery();
+  void evictNodeState(int node);
 
   RankState& rankState(int job, int rank);
   JobState& jobState(int job);
@@ -314,6 +354,10 @@ class Runtime {
   std::vector<JobState> jobs_;
   std::vector<NodeState> nodes_;
   std::vector<int> all_compute_nodes_;
+  std::vector<int> live_compute_nodes_;  ///< strobe/poll set, minus evictions
+  std::vector<char> evicted_;            ///< per compute node
+  std::vector<int> pending_evictions_;   ///< recovered at next slice boundary
+  std::vector<CheckpointRecord> recovery_records_;
 
   core::GlobalVarId phase_done_var_ = -1;
   core::GlobalEventId strobe_event_ = -1;

@@ -36,11 +36,19 @@ enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
 
 const char* reduceOpName(ReduceOp op);
 
+/// Error classes reported in Status::error (subset of MPI error classes;
+/// kErrPeerUnreachable plays the role of MPI_ERR_PROC_FAILED).
+inline constexpr int kSuccess = 0;
+inline constexpr int kErrPeerUnreachable = 1;
+
 /// Completion status of a receive (subset of MPI_Status).
 struct Status {
   int source = kAnySource;
   int tag = kAnyTag;
   std::size_t bytes = 0;
+  /// kSuccess, or kErrPeerUnreachable when the operation was completed *in
+  /// error* because the peer's node was evicted after a fault.
+  int error = kSuccess;
 };
 
 /// Opaque request handle for non-blocking operations.  Identifiers are

@@ -11,6 +11,15 @@ Cluster::Cluster(ClusterConfig config)
   }
   fabric_ = std::make_unique<Fabric>(engine_, config_.network, totalNodes(),
                                      &trace_);
+  if (!config_.faults.empty()) {
+    // Stream 13 is reserved for fault decisions so adding faults never
+    // perturbs the workload/noise randomness of an otherwise identical run.
+    fault_ = std::make_unique<sim::FaultInjector>(
+        config_.faults, sim::deriveSeed(config_.seed, 13));
+    fabric_->setFaultInjector(fault_.get());
+    trace_.record(0, sim::TraceCategory::kFault, -1,
+                  "fault plan: " + config_.faults.describe());
+  }
   cpus_.reserve(static_cast<std::size_t>(totalNodes()));
   for (int n = 0; n < totalNodes(); ++n) {
     cpus_.push_back(

@@ -17,6 +17,7 @@
 #include "net/params.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/noise.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
@@ -33,6 +34,11 @@ struct ClusterConfig {
   /// Optional OS-noise dæmon on every compute node (see sim/noise.hpp).
   bool inject_noise = false;
   sim::NoiseConfig noise;
+
+  /// Faults the machine should suffer (see sim/fault.hpp).  The injector's
+  /// randomness is a stream derived from `seed`, so fault schedules are
+  /// reproducible and independent of the workload's draws.
+  sim::FaultPlan faults;
 };
 
 class Cluster {
@@ -52,6 +58,9 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   sim::CpuScheduler& cpu(int node) { return *cpus_.at(static_cast<std::size_t>(node)); }
   sim::Rng& rng() { return rng_; }
+
+  /// Present iff the config declared a non-empty FaultPlan.
+  sim::FaultInjector* faults() { return fault_.get(); }
 
   /// Creates a process on `node` and schedules its first run at `when`.
   /// The Cluster owns the process.
@@ -73,6 +82,7 @@ class Cluster {
   sim::Engine engine_;
   sim::Trace trace_;
   sim::Rng rng_;
+  std::unique_ptr<sim::FaultInjector> fault_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<sim::CpuScheduler>> cpus_;
   std::vector<std::unique_ptr<sim::NoiseInjector>> noise_;

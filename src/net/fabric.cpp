@@ -32,13 +32,28 @@ Duration Fabric::baseLatency(int src, int dst) const {
 
 void Fabric::unicast(int src, int dst, std::size_t bytes,
                      std::function<void()> on_delivered,
-                     std::function<void()> on_injected) {
+                     std::function<void()> on_injected, SendOptions opts) {
   checkNode(src);
   checkNode(dst);
   ++stats_.unicasts;
   stats_.payload_bytes += static_cast<double>(bytes);
 
   const SimTime now = engine_.now();
+
+  // A down source NIC cannot inject anything: report failure after the ack
+  // timeout without occupying the wire.
+  if (fault_ && fault_->nodeDown(src, now)) {
+    ++stats_.failed_sends;
+    if (trace_) {
+      trace_->record(now, sim::TraceCategory::kFault, src,
+                     "unicast -> n" + std::to_string(dst) +
+                         " failed: source down");
+    }
+    if (opts.on_failed) {
+      engine_.at(now + params_.ack_timeout, std::move(opts.on_failed));
+    }
+    return;
+  }
 
   if (src == dst) {
     // NIC loopback: payload crosses the host bus twice but never the wire.
@@ -63,7 +78,40 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
   const SimTime start_tx = std::max(inject, e_src.egress_free);
   e_src.egress_free = start_tx + serial;
 
-  const SimTime arrival = start_tx + baseLatency(src, dst) + serial;
+  // Fault decisions: the packet occupies the source egress either way (it
+  // was injected), but a lost packet never occupies the destination ingress
+  // and never delivers.  The drop draw happens before the degrade draw so
+  // the randomness stream is consumed in a fixed order.
+  bool lost = false;
+  Duration degrade = 0;
+  if (fault_) {
+    const bool dropped = opts.droppable && fault_->shouldDrop(src, dst);
+    const bool dst_down = fault_->nodeDown(dst, now);
+    lost = dropped || dst_down;
+    if (dropped) {
+      ++stats_.drops;
+    } else if (dst_down) {
+      ++stats_.failed_sends;
+    }
+    if (!lost && opts.droppable) degrade = fault_->degradeExtra();
+  }
+
+  const SimTime arrival = start_tx + baseLatency(src, dst) + serial + degrade;
+
+  if (lost) {
+    if (trace_) {
+      trace_->record(now, sim::TraceCategory::kFault, src,
+                     "unicast -> n" + std::to_string(dst) + " " +
+                         std::to_string(bytes) + "B lost");
+    }
+    if (on_injected) engine_.at(e_src.egress_free, std::move(on_injected));
+    if (opts.on_failed) {
+      engine_.at(arrival + params_.nic_rx_overhead + params_.ack_timeout,
+                 std::move(opts.on_failed));
+    }
+    return;
+  }
+
   const SimTime deliver_end =
       std::max(arrival, e_dst.ingress_free + serial);
   e_dst.ingress_free = deliver_end;
@@ -122,8 +170,21 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
       params_.mcast_base_latency +
       static_cast<Duration>(tree_.levels()) * params_.hop_latency;
 
-  SimTime last = 0;
+  // Legs to down destinations (or the whole fan-out, if the source is down)
+  // are suppressed: the hardware multicast is reliable for live endpoints,
+  // so live destinations still receive even when siblings are dead.
+  const bool src_down = fault_ && fault_->nodeDown(src, now);
+  SimTime last = start_tx + fanout_latency;  // fallback if no live dest
   for (int d : dests) {
+    if (src_down || (fault_ && fault_->nodeDown(d, now))) {
+      ++stats_.suppressed_deliveries;
+      if (trace_) {
+        trace_->record(now, sim::TraceCategory::kFault, src,
+                       "multicast leg -> n" + std::to_string(d) +
+                           " suppressed (endpoint down)");
+      }
+      continue;
+    }
     Endpoint& e_dst = endpoints_[static_cast<std::size_t>(d)];
     const SimTime arrival = start_tx + fanout_latency + dserial;
     const SimTime deliver_end = std::max(arrival, e_dst.ingress_free + dserial);
@@ -241,12 +302,14 @@ void Fabric::conditional(int src, std::vector<int> nodes,
   ++stats_.conditionals;
 
   const Duration lat = conditionalLatency(static_cast<int>(nodes.size()));
-  engine_.after(lat, [nodes = std::move(nodes), eval = std::move(eval),
+  engine_.after(lat, [this, nodes = std::move(nodes), eval = std::move(eval),
                       write = std::move(write),
                       on_result = std::move(on_result)] {
     bool all = true;
     for (int n : nodes) {
-      if (!eval(n)) {
+      // A down node never answers the query broadcast, so the combine
+      // reports false — the conditional cannot hang, it just fails.
+      if ((fault_ && fault_->nodeDown(n, engine_.now())) || !eval(n)) {
         all = false;
         break;
       }

@@ -40,6 +40,7 @@
 #include "net/params.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -54,6 +55,23 @@ struct FabricStats {
   std::uint64_t multicasts = 0;
   std::uint64_t conditionals = 0;
   double payload_bytes = 0;
+  std::uint64_t drops = 0;         ///< droppable unicasts lost at random
+  std::uint64_t failed_sends = 0;  ///< unicasts to/from a down endpoint
+  std::uint64_t suppressed_deliveries = 0;  ///< multicast legs to down nodes
+};
+
+/// Per-send options for unicast.  Default-constructed == the historical
+/// behaviour: reliable delivery, no failure notification.
+struct SendOptions {
+  /// Marks the packet as subject to random loss/degradation from the
+  /// FaultPlan.  Senders of protocol-critical traffic (strobes, heartbeats)
+  /// leave this false: on QsNet those paths are hardware-reliable and fail
+  /// only when an endpoint is down.
+  bool droppable = false;
+  /// Invoked (instead of on_delivered) when the transfer is lost or an
+  /// endpoint is down, at the instant the sender's ack timer would expire.
+  /// Without it, a lost packet is silently dropped.
+  std::function<void()> on_failed;
 };
 
 class Fabric {
@@ -70,10 +88,11 @@ class Fabric {
 
   /// Sends `bytes` from src to dst.  `on_delivered` fires at the instant the
   /// last byte (plus rx overhead) lands at dst; `on_injected` (optional)
-  /// fires when the source NIC egress is free again.
+  /// fires when the source NIC egress is free again.  Under an attached
+  /// FaultInjector the transfer may be lost (see SendOptions).
   void unicast(int src, int dst, std::size_t bytes,
                std::function<void()> on_delivered,
-               std::function<void()> on_injected = {});
+               std::function<void()> on_injected = {}, SendOptions opts = {});
 
   /// Multicasts `bytes` from src to every node in `dests` (src excluded
   /// automatically if present).  `on_delivered_at(node)` fires per
@@ -99,6 +118,11 @@ class Fabric {
 
   const FabricStats& stats() const { return stats_; }
 
+  /// Attaches (or detaches, with nullptr) a fault injector.  Not owned; must
+  /// outlive the fabric or be detached first.
+  void setFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
+  sim::FaultInjector* faultInjector() const { return fault_; }
+
   sim::Engine& engine() { return engine_; }
 
  private:
@@ -120,6 +144,7 @@ class Fabric {
   FatTree tree_;
   std::vector<Endpoint> endpoints_;
   sim::Trace* trace_;
+  sim::FaultInjector* fault_ = nullptr;
   FabricStats stats_;
 };
 

@@ -41,6 +41,11 @@ struct NetworkParams {
   Duration pci_latency;       ///< DMA start-up across the host bus.
   int radix = 4;              ///< Fat-tree switch radix (QsNet is quaternary).
 
+  /// Extra delay after the expected delivery instant before the sender's NIC
+  /// reports a transfer as failed (lost packet / unreachable endpoint).
+  /// Models the hardware ack timeout of a reliable-delivery NIC.
+  Duration ack_timeout = sim::usec(10);
+
   // --- BCS core primitive support ---
   bool hw_multicast = false;      ///< Ordered, reliable hardware multicast.
   bool hw_conditional = false;    ///< Network conditional (query broadcast).

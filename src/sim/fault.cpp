@@ -1,0 +1,57 @@
+#include "sim/fault.hpp"
+
+#include <utility>
+
+namespace bcs::sim {
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "no faults";
+  std::string out;
+  auto append = [&out](std::string piece) {
+    if (!out.empty()) out += ", ";
+    out += std::move(piece);
+  };
+  if (drop_rate > 0) {
+    append("drop " + std::to_string(drop_rate * 100.0) + "%");
+  }
+  if (degrade_rate > 0) {
+    append("degrade " + std::to_string(degrade_rate * 100.0) + "% by " +
+           formatTime(degrade_latency));
+  }
+  for (const NodeFault& f : node_faults) {
+    if (f.hang == 0) {
+      append("crash n" + std::to_string(f.node) + " at " + formatTime(f.at));
+    } else {
+      append("hang n" + std::to_string(f.node) + " at " + formatTime(f.at) +
+             " for " + formatTime(f.hang));
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {}
+
+bool FaultInjector::shouldDrop(int, int) {
+  if (plan_.drop_rate <= 0) return false;
+  if (rng_.uniform() >= plan_.drop_rate) return false;
+  ++stats_.drops;
+  return true;
+}
+
+Duration FaultInjector::degradeExtra() {
+  if (plan_.degrade_rate <= 0) return 0;
+  if (rng_.uniform() >= plan_.degrade_rate) return 0;
+  ++stats_.degrades;
+  return plan_.degrade_latency;
+}
+
+bool FaultInjector::nodeDown(int node, SimTime now) const {
+  for (const FaultPlan::NodeFault& f : plan_.node_faults) {
+    if (f.node != node || now < f.at) continue;
+    if (f.hang == 0 || now < f.at + f.hang) return true;
+  }
+  return false;
+}
+
+}  // namespace bcs::sim

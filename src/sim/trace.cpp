@@ -16,6 +16,7 @@ const char* traceCategoryName(TraceCategory c) {
     case TraceCategory::kDma: return "DMA";
     case TraceCategory::kCollective: return "COLL";
     case TraceCategory::kStorm: return "STORM";
+    case TraceCategory::kFault: return "FAULT";
     case TraceCategory::kApp: return "APP";
   }
   return "?";

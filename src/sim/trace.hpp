@@ -27,6 +27,7 @@ enum class TraceCategory : std::uint8_t {
   kDma,         // point-to-point payload movement
   kCollective,  // CH/RH activity
   kStorm,       // MM/NM resource-management traffic
+  kFault,       // injected faults, retransmissions, evictions, recovery
   kApp,
 };
 

@@ -176,6 +176,7 @@ void Storm::heartbeatRound() {
                                   "declared dead after " +
                                       std::to_string(info.missed) +
                                       " missed heartbeats");
+          if (death_handler_) death_handler_(n);
         }
       }
     }

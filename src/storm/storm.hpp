@@ -84,6 +84,13 @@ class Storm {
   /// Nodes currently considered dead by the MM.
   std::vector<int> deadNodes() const;
 
+  /// Invoked once per node, at the instant the MM declares it dead.  This is
+  /// the integration point with the BCS-MPI runtime: wire it to
+  /// Runtime::notifyNodeFailure for coordinated eviction and recovery.
+  void setDeathHandler(std::function<void(int)> handler) {
+    death_handler_ = std::move(handler);
+  }
+
  private:
   void heartbeatRound();
 
@@ -105,6 +112,7 @@ class Storm {
   std::int64_t hb_seq_ = 0;
   bool heartbeats_on_ = false;
   std::uint64_t hb_sent_ = 0;
+  std::function<void(int)> death_handler_;
 };
 
 }  // namespace bcs::storm

@@ -1,0 +1,320 @@
+// Fault-injection tests: deterministic drops, retransmission, node crashes,
+// heartbeat-driven eviction and coordinated recovery.
+//
+// The invariants under test, for every (seed, drop-rate, crash-time)
+// combination:
+//   * no silent loss — every posted send either completes or is reported
+//     failed (Status::error == kErrPeerUnreachable) after the peer's node
+//     was evicted;
+//   * no deadlocked slice — the strobe keeps advancing and every surviving
+//     rank runs to completion;
+//   * payloads that do complete are byte-intact despite retransmissions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "sim/fault.hpp"
+#include "storm/storm.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::msec;
+using sim::usec;
+
+bcsmpi::BcsMpiConfig quickCfg() {
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  return cfg;
+}
+
+// ---- FaultInjector unit behaviour ----
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  sim::FaultPlan plan;
+  plan.dropRate(0.3);
+  sim::FaultInjector a(plan, 99), b(plan, 99), c(plan, 100);
+  std::vector<bool> da, db, dc;
+  for (int i = 0; i < 200; ++i) {
+    da.push_back(a.shouldDrop(0, 1));
+    db.push_back(b.shouldDrop(0, 1));
+    dc.push_back(c.shouldDrop(0, 1));
+  }
+  EXPECT_EQ(da, db);
+  EXPECT_NE(da, dc);  // P(collision over 200 draws) ~ 0
+  EXPECT_GT(a.stats().drops, 20u);
+  EXPECT_LT(a.stats().drops, 120u);
+}
+
+TEST(FaultInjector, NodeDownWindows) {
+  sim::FaultPlan plan;
+  plan.crashNode(3, msec(10)).hangNode(5, msec(20), msec(5));
+  sim::FaultInjector inj(plan, 1);
+  EXPECT_FALSE(inj.nodeDown(3, msec(10) - 1));
+  EXPECT_TRUE(inj.nodeDown(3, msec(10)));
+  EXPECT_TRUE(inj.nodeDown(3, msec(500)));  // crash is permanent
+  EXPECT_FALSE(inj.nodeDown(5, msec(20) - 1));
+  EXPECT_TRUE(inj.nodeDown(5, msec(22)));
+  EXPECT_FALSE(inj.nodeDown(5, msec(25)));  // hang window over
+  EXPECT_FALSE(inj.nodeDown(0, msec(100)));
+}
+
+TEST(FaultInjector, ZeroRateDrawsNothing) {
+  sim::FaultPlan plan;  // empty
+  sim::FaultInjector inj(plan, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(inj.shouldDrop(0, 1));
+  EXPECT_EQ(inj.degradeExtra(), 0);
+  EXPECT_EQ(inj.stats().drops, 0u);
+  EXPECT_EQ(inj.stats().degrades, 0u);
+}
+
+// ---- drops + retransmission, no crash ----
+
+TEST(FaultInjection, DroppedDescriptorsAreRetransmittedNextSlice) {
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 2;
+  ccfg.seed = 4242;
+  ccfg.faults.dropRate(0.25);  // heavy loss on the droppable paths
+  net::Cluster cluster(ccfg);
+
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, quickCfg());
+  int bad_bytes = 0;
+  bcsmpi::launchJob(*runtime, {0, 1}, [&](mpi::Comm& comm) {
+    std::vector<std::uint8_t> buf(4096);
+    for (int round = 0; round < 25; ++round) {
+      if (comm.rank() == 0) {
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          buf[i] = static_cast<std::uint8_t>((i + round) & 0xFF);
+        }
+        comm.send(buf.data(), buf.size(), 1, round);
+      } else {
+        comm.recv(buf.data(), buf.size(), 0, round);
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          if (buf[i] != static_cast<std::uint8_t>((i + round) & 0xFF)) {
+            ++bad_bytes;
+          }
+        }
+      }
+    }
+  });
+  cluster.run();
+
+  ASSERT_TRUE(cluster.allProcessesFinished());
+  EXPECT_EQ(bad_bytes, 0);
+  // At 25% loss over 50 descriptors + 25 chunks, drops are certain.
+  EXPECT_GT(cluster.fabric().stats().drops, 0u);
+  EXPECT_GT(runtime->stats().retransmits, 0u);
+  EXPECT_EQ(runtime->stats().requests_failed, 0u);
+  EXPECT_EQ(runtime->stats().evictions, 0u);
+}
+
+TEST(FaultInjection, MultiChunkMessageSurvivesChunkLoss) {
+  // A message split across many chunks, each likely to be dropped at least
+  // once: byte accounting must complete the request only when every chunk
+  // actually landed, even if a retried chunk arrives after the final one.
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 2;
+  ccfg.seed = 7;
+  ccfg.faults.dropRate(0.3);
+  net::Cluster cluster(ccfg);
+
+  bcsmpi::BcsMpiConfig cfg = quickCfg();
+  cfg.chunk_bytes = 8 << 10;
+  cfg.slice_byte_budget = 8 << 10;  // one chunk per slice
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  const std::size_t bytes = 96 << 10;  // 12 chunks
+  bool intact = true;
+  bcsmpi::launchJob(*runtime, {0, 1}, [&](mpi::Comm& comm) {
+    std::vector<std::uint8_t> buf(bytes);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < bytes; ++i) {
+        buf[i] = static_cast<std::uint8_t>((i * 13) & 0xFF);
+      }
+      comm.send(buf.data(), bytes, 1, 0);
+    } else {
+      comm.recv(buf.data(), bytes, 0, 0);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        if (buf[i] != static_cast<std::uint8_t>((i * 13) & 0xFF)) {
+          intact = false;
+          break;
+        }
+      }
+    }
+  });
+  cluster.run();
+  ASSERT_TRUE(cluster.allProcessesFinished());
+  EXPECT_TRUE(intact);
+  EXPECT_GT(runtime->stats().retransmits, 0u);
+  EXPECT_EQ(runtime->stats().requests_failed, 0u);
+}
+
+// ---- crash + heartbeat eviction + recovery, parameterized ----
+
+struct CrashParam {
+  std::uint64_t seed;
+  int drop_bp;       // basis points: 500 = 5%
+  double crash_ms;   // node-crash instant
+};
+
+class CrashRecovery : public ::testing::TestWithParam<CrashParam> {};
+
+TEST_P(CrashRecovery, SurvivorsCompleteAndNeighborsSeeFailure) {
+  const CrashParam p = GetParam();
+  const int P = 8;
+  const int dead_rank = 3;  // one rank per node
+
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = p.seed;
+  ccfg.faults.dropRate(p.drop_bp / 10000.0);
+  ccfg.faults.crashNode(dead_rank, msec(p.crash_ms));
+  net::Cluster cluster(ccfg);
+
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, quickCfg());
+
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = usec(500);
+  scfg.max_missed_heartbeats = 3;
+  storm::Storm storm(cluster, scfg);
+  storm.setDeathHandler([&](int node) { runtime->notifyNodeFailure(node); });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(60), [&] { storm.stopHeartbeats(); });
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+
+  // Ring exchange: every round each rank sends to its right neighbour and
+  // receives from its left.  A rank that sees a failed wait keeps going —
+  // breaking out would strand its *live* partners — so after the crash the
+  // dead rank's neighbours accumulate one error per remaining round.
+  std::vector<int> errors(P, 0);
+  bcsmpi::launchJob(*runtime, map, [&](mpi::Comm& comm) {
+    const int me = comm.rank();
+    const int right = (me + 1) % P;
+    const int left = (me + P - 1) % P;
+    std::vector<std::uint8_t> out(1024), in(1024);
+    for (int round = 0; round < 12; ++round) {
+      auto sreq = comm.isend(out.data(), out.size(), right, round);
+      auto rreq = comm.irecv(in.data(), in.size(), left, round);
+      mpi::Status ss, rs;
+      comm.wait(sreq, &ss);
+      comm.wait(rreq, &rs);
+      if (ss.error != mpi::kSuccess || rs.error != mpi::kSuccess) {
+        ++errors[static_cast<std::size_t>(me)];
+      }
+    }
+  });
+  cluster.run();
+
+  // The dead rank's fiber is gone for good; every survivor finished.
+  const auto unfinished = cluster.unfinishedProcesses();
+  ASSERT_EQ(unfinished.size(), 1u) << "survivors deadlocked";
+  EXPECT_NE(unfinished[0].find(std::to_string(dead_rank)), std::string::npos);
+
+  // The crash was detected, the node evicted, and one coordinated recovery
+  // checkpoint taken.
+  EXPECT_FALSE(storm.nodeAlive(dead_rank));
+  EXPECT_EQ(runtime->stats().evictions, 1u);
+  EXPECT_EQ(runtime->stats().recovery_slices, 1u);
+  ASSERT_EQ(runtime->recoveryCheckpoints().size(), 1u);
+  EXPECT_TRUE(runtime->nodeEvicted(dead_rank));
+
+  // Only the dead rank's ring neighbours can observe the failure; both must
+  // (their counterparty vanished mid-conversation).
+  for (int r = 0; r < P; ++r) {
+    if (r == dead_rank) continue;
+    if (r == (dead_rank + 1) % P || r == (dead_rank + P - 1) % P) {
+      EXPECT_GE(errors[static_cast<std::size_t>(r)], 1)
+          << "neighbour " << r << " must see at least one failed wait";
+    } else {
+      EXPECT_EQ(errors[static_cast<std::size_t>(r)], 0)
+          << "non-neighbour " << r << " must not see failures";
+    }
+  }
+  EXPECT_GT(runtime->stats().requests_failed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsDropsAndTimes, CrashRecovery,
+    ::testing::Values(CrashParam{11, 0, 3.0}, CrashParam{97, 500, 4.0},
+                      CrashParam{4242, 500, 6.5}, CrashParam{80808, 1000, 5.0}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_drop" +
+             std::to_string(info.param.drop_bp) + "bp_crash" +
+             std::to_string(static_cast<int>(info.param.crash_ms * 10)) +
+             "e4ns";
+    });
+
+// ---- the acceptance-criteria workload: 32-node soup, 5% drop, one crash ----
+
+TEST(FaultInjection, SoupWith32NodesDropAndMidRunCrash) {
+  const int P = 32;
+  const int dead_node = 13;
+
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = 20260805;
+  ccfg.faults.dropRate(0.05);
+  ccfg.faults.crashNode(dead_node, msec(6));
+  net::Cluster cluster(ccfg);
+
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, quickCfg());
+
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = usec(500);
+  storm::Storm storm(cluster, scfg);
+  storm.setDeathHandler([&](int node) { runtime->notifyNodeFailure(node); });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(120), [&] { storm.stopHeartbeats(); });
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+
+  // Soup: each round every rank swaps a message with a round-dependent
+  // partner (a perfect matching, so recvs are exactly paired with sends).
+  // A failed wait just moves the rank on to its next round.
+  std::vector<int> completed(P, 0), failed(P, 0);
+  bcsmpi::launchJob(*runtime, map, [&](mpi::Comm& comm) {
+    const int me = comm.rank();
+    std::vector<std::uint8_t> out(2048), in(2048);
+    for (int round = 0; round < 10; ++round) {
+      const int partner = me ^ (1 + (round % 7));  // xor matching, P = 32
+      if (partner >= P) continue;
+      auto sreq = comm.isend(out.data(), out.size(), partner, round);
+      auto rreq = comm.irecv(in.data(), in.size(), partner, round);
+      mpi::Status ss, rs;
+      comm.wait(sreq, &ss);
+      comm.wait(rreq, &rs);
+      auto& cell = (ss.error == mpi::kSuccess && rs.error == mpi::kSuccess)
+                       ? completed
+                       : failed;
+      ++cell[static_cast<std::size_t>(me)];
+    }
+  });
+  cluster.run();
+
+  // Every surviving rank ran all its rounds to an outcome — completed or
+  // reported failed, never hung.
+  EXPECT_EQ(cluster.unfinishedProcesses().size(), 1u);
+  for (int r = 0; r < P; ++r) {
+    if (r == dead_node) continue;
+    EXPECT_EQ(completed[static_cast<std::size_t>(r)] +
+                  failed[static_cast<std::size_t>(r)],
+              10)
+        << "rank " << r;
+  }
+  EXPECT_GE(runtime->stats().evictions, 1u);
+  EXPECT_GT(runtime->stats().retransmits, 0u);
+  EXPECT_GT(cluster.fabric().stats().drops, 0u);
+  EXPECT_GT(runtime->stats().requests_failed, 0u);
+  ASSERT_GE(runtime->recoveryCheckpoints().size(), 1u);
+  // The recovery checkpoint is taken at a slice boundary of the survivors.
+  EXPECT_GT(runtime->recoveryCheckpoints()[0].slice, 0u);
+}
+
+}  // namespace

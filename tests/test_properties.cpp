@@ -170,14 +170,20 @@ INSTANTIATE_TEST_SUITE_P(AllNetworks, FabricSerialization,
 
 // ---- randomized message soup, both implementations ----
 
+// Param: (implementation, seed, drop rate in basis points).  Nonzero drop
+// rates exercise the retransmission path: descriptors and chunks are lost on
+// the wire yet every byte must still arrive intact.  The baseline's traffic
+// is not marked droppable (its model is a lossless network), so drops only
+// bite the BCS-MPI runs.
 class MessageSoup
-    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t, int>> {};
 
 TEST_P(MessageSoup, EveryByteArrivesIntact) {
-  const auto [use_bcs, seed] = GetParam();
+  const auto [use_bcs, seed, drop_bp] = GetParam();
   const int P = 4;
   net::ClusterConfig ccfg;
   ccfg.num_compute_nodes = P;
+  ccfg.faults.dropRate(drop_bp / 10000.0);
   net::Cluster cluster(ccfg);
   std::vector<int> map(P);
   std::iota(map.begin(), map.end(), 0);
@@ -258,10 +264,12 @@ TEST_P(MessageSoup, EveryByteArrivesIntact) {
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndImpls, MessageSoup,
     ::testing::Combine(::testing::Bool(),
-                       ::testing::Values(11u, 97u, 4242u, 80808u)),
+                       ::testing::Values(11u, 97u, 4242u, 80808u),
+                       ::testing::Values(0, 500)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param) ? "bcsmpi" : "baseline") +
-             "_seed" + std::to_string(std::get<1>(info.param));
+             "_seed" + std::to_string(std::get<1>(info.param)) + "_drop" +
+             std::to_string(std::get<2>(info.param)) + "bp";
     });
 
 }  // namespace

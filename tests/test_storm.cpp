@@ -88,6 +88,76 @@ TEST(Storm, HeartbeatsDetectDeadNode) {
   EXPECT_EQ(storm.deadNodes(), std::vector<int>{5});
 }
 
+TEST(Storm, HangShorterThanThresholdIsNotDeclaredDead) {
+  // A 15 ms NIC hang at a 10 ms heartbeat period misses at most 2 beats —
+  // below max_missed_heartbeats = 3 — so the MM must NOT declare the node
+  // dead (false-positive check).
+  net::ClusterConfig ccfg = cfgNodes(8);
+  ccfg.faults.hangNode(5, msec(22), msec(15));
+  net::Cluster cluster(ccfg);
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = msec(10);
+  scfg.max_missed_heartbeats = 3;
+  storm::Storm storm(cluster, scfg);
+  storm.startHeartbeats();
+  cluster.engine().at(msec(200), [&] { storm.stopHeartbeats(); });
+  cluster.run();
+  EXPECT_TRUE(storm.nodeAlive(5));
+  EXPECT_TRUE(storm.deadNodes().empty());
+}
+
+TEST(Storm, FaultPlanCrashIsDeclaredWithinLatencyBound) {
+  // A FaultPlan crash silences the node's NIC end to end: the heartbeat
+  // multicast leg to it is suppressed by the fabric, so detection needs no
+  // cooperation from Storm::killNode.  With period P and threshold 3, a
+  // crash at T must be declared in (T + 2P, T + 4P]: the first fully missed
+  // beat is checked at most one period after T plus the half-period
+  // inspection delay, and two more follow at period intervals.
+  net::ClusterConfig ccfg = cfgNodes(8);
+  const sim::SimTime crash_at = msec(25);
+  ccfg.faults.crashNode(5, crash_at);
+  net::Cluster cluster(ccfg);
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = msec(10);
+  scfg.max_missed_heartbeats = 3;
+  storm::Storm storm(cluster, scfg);
+  sim::SimTime declared_at = -1;
+  int handler_calls = 0;
+  storm.setDeathHandler([&](int node) {
+    EXPECT_EQ(node, 5);
+    ++handler_calls;
+    declared_at = cluster.engine().now();
+  });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(200), [&] { storm.stopHeartbeats(); });
+  cluster.run();
+  EXPECT_FALSE(storm.nodeAlive(5));
+  EXPECT_EQ(handler_calls, 1);  // death handler fires exactly once
+  ASSERT_GT(declared_at, 0);
+  EXPECT_GT(declared_at, crash_at + 2 * scfg.heartbeat_period);
+  EXPECT_LE(declared_at, crash_at + 4 * scfg.heartbeat_period);
+}
+
+TEST(Storm, NoisySlowClusterProducesNoFalsePositives) {
+  // OS noise perturbs timing but every node still acknowledges each beat;
+  // nobody may be declared dead.
+  net::ClusterConfig ccfg = cfgNodes(8);
+  ccfg.inject_noise = true;
+  net::Cluster cluster(ccfg);
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = msec(10);
+  scfg.max_missed_heartbeats = 3;
+  storm::Storm storm(cluster, scfg);
+  int handler_calls = 0;
+  storm.setDeathHandler([&](int) { ++handler_calls; });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(300), [&] { storm.stopHeartbeats(); });
+  cluster.run(msec(400));
+  EXPECT_TRUE(storm.deadNodes().empty());
+  EXPECT_EQ(handler_calls, 0);
+  EXPECT_GE(storm.heartbeatsSent(), 25u);
+}
+
 TEST(Storm, DeadNodesAreSkippedByAllocation) {
   net::Cluster cluster(cfgNodes(4));
   storm::StormConfig scfg;
