@@ -1,0 +1,436 @@
+// Microbenchmark of the simulation core's hot paths, tracking the perf
+// trajectory over PRs:
+//
+//   * events/sec   — calendar-queue engine on a slice-shaped event soup at
+//                    32/128/512 simulated nodes, vs an in-binary copy of the
+//                    original binary-heap + std::function engine;
+//   * matches/sec  — envelope-hash MSM matcher vs the reference quadratic
+//                    matcher on a randomized descriptor soup;
+//   * slices/sec   — wall-clock slice rate of a full BCS-MPI runtime running
+//                    a neighbor-exchange job.
+//
+// Results are appended to BENCH_engine.json (flat "key": value pairs).  With
+// --baseline <json>, throughput keys are compared against the checked-in
+// baseline and the run fails on a >30% regression — this is the `bench_quick`
+// CTest entry (see the `bench` CMake preset).
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "bcsmpi/matching.hpp"
+#include "net/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::SimTime;
+using sim::usec;
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// The pre-calendar-queue engine, kept verbatim so the speedup criterion is
+// measured against the real ancestor, not a strawman.
+// ---------------------------------------------------------------------------
+
+namespace legacy {
+
+struct EventId {
+  std::uint64_t seq = 0;
+};
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  EventId at(SimTime when, std::function<void()> fn) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq});
+    callbacks_.emplace(seq, std::move(fn));
+    return EventId{seq};
+  }
+
+  EventId after(sim::Duration delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) {
+    auto it = callbacks_.find(id.seq);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    return true;
+  }
+
+  SimTime run(SimTime until = INT64_MAX) {
+    while (!heap_.empty()) {
+      Entry top = heap_.top();
+      auto it = callbacks_.find(top.seq);
+      if (it == callbacks_.end()) {
+        heap_.pop();
+        continue;
+      }
+      if (top.when > until) break;
+      heap_.pop();
+      now_ = top.when;
+      std::function<void()> fn = std::move(it->second);
+      callbacks_.erase(it);
+      ++executed_;
+      fn();
+    }
+    return now_;
+  }
+
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// Event soup: per slice and node, five jittered microphase events, an op
+// completion, a usually-cancelled timeout, and an occasional beyond-horizon
+// watchdog — the event mix a slice-synchronous runtime generates.
+// ---------------------------------------------------------------------------
+
+/// Capture state of a typical runtime callback (`this` + node/phase ids +
+/// a sequence number): larger than std::function's inline buffer, within
+/// the calendar engine's 40-byte slot.
+struct CallbackCtx {
+  void* owner;
+  int node;
+  int phase;
+  std::uint64_t seq;
+};
+
+// Per slice, each node schedules: ten jittered microphase/completion events
+// (strobe arrivals, phase floors, per-chunk op completions) and one
+// retransmit timeout eight slices out that is almost always cancelled when
+// the "op" completes first — the timer pattern that litters the pending set
+// with mid-life cancellations.  Jitter comes from tables precomputed outside
+// the timed region so the measurement is queue work, not RNG.
+template <typename EngineT>
+double soupEventsPerSec(int nodes, long long slices,
+                        std::uint64_t* executed_out = nullptr) {
+  constexpr int kPerNode = 10;
+  constexpr int kTimeoutSlices = 8;
+  EngineT eng;
+  sim::Rng rng(2026);
+  const SimTime slice_len = usec(500);
+  using Id = decltype(eng.at(SimTime{0}, std::function<void()>{}));
+  std::uint64_t sink = 0;
+
+  std::vector<SimTime> jitter(static_cast<std::size_t>(nodes) * kPerNode);
+  for (auto& j : jitter) {
+    j = static_cast<SimTime>(rng.below(static_cast<std::uint64_t>(
+        slice_len - 2000)));
+  }
+  std::vector<std::uint8_t> cancel_mask(
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(slices));
+  for (auto& c : cancel_mask) c = rng.below(16) != 0;  // ~94% cancelled
+
+  // Ring of live retransmit timers, cancelled kTimeoutSlices later.
+  std::vector<Id> timers(static_cast<std::size_t>(nodes) * kTimeoutSlices);
+
+  std::function<void(long long)> start_slice = [&](long long s) {
+    if (s >= slices) return;
+    const SimTime t0 = eng.now();
+    for (int n = 0; n < nodes; ++n) {
+      const CallbackCtx ctx{&eng, n, 0, static_cast<std::uint64_t>(s)};
+      const SimTime* jit = &jitter[static_cast<std::size_t>(n) * kPerNode];
+      for (int p = 0; p < kPerNode; ++p) {
+        eng.at(t0 + jit[p], [ctx, &sink] { sink += ctx.seq + ctx.node; });
+      }
+      // Cancel the timer armed kTimeoutSlices ago (its op completed) and
+      // arm this slice's.
+      Id& timer = timers[static_cast<std::size_t>(
+          (s % kTimeoutSlices) * nodes + n)];
+      if (s >= kTimeoutSlices &&
+          cancel_mask[static_cast<std::size_t>(s - kTimeoutSlices) *
+                          static_cast<std::size_t>(nodes) +
+                      static_cast<std::size_t>(n)]) {
+        eng.cancel(timer);
+      }
+      timer = eng.at(t0 + kTimeoutSlices * slice_len + jit[0],
+                     [ctx, &sink] { sink += ctx.node; });
+    }
+    eng.at(t0 + slice_len, [&start_slice, s] { start_slice(s + 1); });
+  };
+
+  eng.at(0, [&start_slice] { start_slice(0); });
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run();
+  const double secs = secondsSince(t0);
+  if (executed_out) *executed_out = eng.executedEvents() + (sink & 1);
+  return static_cast<double>(eng.executedEvents()) / secs;
+}
+
+// ---------------------------------------------------------------------------
+// Matcher throughput on a randomized descriptor soup.
+// ---------------------------------------------------------------------------
+
+struct MatchSoup {
+  std::vector<bcsmpi::SendDescriptor> sends;
+  std::vector<bcsmpi::RecvDescriptor> recvs;
+};
+
+MatchSoup makeMatchSoup(int count, std::uint64_t seed) {
+  MatchSoup soup;
+  sim::Rng rng(seed);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < count; ++i) {
+    bcsmpi::SendDescriptor s;
+    s.job = 0;
+    s.dst_rank = static_cast<int>(rng.below(4));
+    s.src_rank = static_cast<int>(rng.below(16));
+    s.tag = static_cast<int>(rng.below(4));
+    s.bytes = 64;
+    s.seq = ++seq;
+    soup.sends.push_back(s);
+
+    bcsmpi::RecvDescriptor r;
+    r.job = 0;
+    r.dst_rank = static_cast<int>(rng.below(4));
+    r.want_src = rng.below(16) == 0 ? mpi::kAnySource
+                                    : static_cast<int>(rng.below(16));
+    r.want_tag = rng.below(16) == 0 ? mpi::kAnyTag
+                                    : static_cast<int>(rng.below(4));
+    r.bytes = 64;
+    r.seq = ++seq;
+    soup.recvs.push_back(r);
+  }
+  return soup;
+}
+
+double indexMatchesPerSec(const MatchSoup& soup, std::uint64_t* matched_out) {
+  bcsmpi::SendMatchIndex sends;
+  bcsmpi::RecvMatchIndex recvs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& s : soup.sends) sends.insert(s);
+  for (const auto& r : soup.recvs) recvs.insert(r);
+  std::vector<std::uint64_t> cand;
+  sends.forEachEnvelope([&](const bcsmpi::EnvelopeKey& key) {
+    if (const auto* bucket = recvs.bucketFor(key)) {
+      cand.insert(cand.end(), bucket->begin(), bucket->end());
+    }
+  });
+  cand.insert(cand.end(), recvs.wildcards().begin(), recvs.wildcards().end());
+  std::sort(cand.begin(), cand.end());
+  std::uint64_t matched = 0;
+  for (const std::uint64_t recv_seq : cand) {
+    const auto* r = recvs.find(recv_seq);
+    if (!r) continue;
+    const auto* s = sends.lowestSeqMatch(*r);
+    if (!s) continue;
+    sends.take(s->seq);
+    recvs.take(recv_seq);
+    ++matched;
+  }
+  const double secs = secondsSince(t0);
+  if (matched_out) *matched_out = matched;
+  return static_cast<double>(matched) / secs;
+}
+
+double quadraticMatchesPerSec(const MatchSoup& soup) {
+  std::deque<bcsmpi::SendDescriptor> sends(soup.sends.begin(),
+                                           soup.sends.end());
+  std::deque<bcsmpi::RecvDescriptor> recvs(soup.recvs.begin(),
+                                           soup.recvs.end());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t matched = 0;
+  for (auto rit = recvs.begin(); rit != recvs.end();) {
+    auto sit = sends.end();
+    for (auto cand = sends.begin(); cand != sends.end(); ++cand) {
+      if (!bcsmpi::envelopeMatches(*rit, *cand)) continue;
+      if (sit == sends.end() || cand->seq < sit->seq) sit = cand;
+    }
+    if (sit == sends.end()) {
+      ++rit;
+      continue;
+    }
+    ++matched;
+    sends.erase(sit);
+    rit = recvs.erase(rit);
+  }
+  const double secs = secondsSince(t0);
+  return static_cast<double>(matched) / secs;
+}
+
+// ---------------------------------------------------------------------------
+// Full-runtime slice rate: neighbor exchange, one rank per node.
+// ---------------------------------------------------------------------------
+
+double runtimeSlicesPerSec(int nodes, std::uint64_t* slices_out) {
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = nodes;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  std::vector<int> map(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) map[static_cast<std::size_t>(i)] = i;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  const int P = nodes;
+  bcsmpi::launchJob(*runtime, map, [P](mpi::Comm& comm) {
+    std::vector<char> out(8192, 'x'), in(8192);
+    const int me = comm.rank();
+    for (int round = 0; round < 3; ++round) {
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(
+          comm.irecv(in.data(), in.size(), (me + P - 1) % P, round));
+      reqs.push_back(
+          comm.isend(out.data(), out.size(), (me + 1) % P, round));
+      comm.waitall(reqs);
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run();
+  const double secs = secondsSince(t0);
+  if (slices_out) *slices_out = runtime->stats().slices;
+  return static_cast<double>(runtime->stats().slices) / secs;
+}
+
+// ---------------------------------------------------------------------------
+// JSON out + baseline regression gate
+// ---------------------------------------------------------------------------
+
+/// Extracts `"key": <number>` from a flat JSON file; returns NaN if absent.
+double jsonNumber(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_engine.json";
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  std::map<std::string, double> results;
+
+  std::printf("engine event soup (calendar queue vs legacy heap)\n");
+  const int soup_nodes[] = {32, 128, 512};
+  for (const int n : soup_nodes) {
+    const long long slices = 160000 / n;  // ~1.1M events per size
+    std::uint64_t events = 0;
+    const double eps = soupEventsPerSec<sim::Engine>(n, slices, &events);
+    results["events_per_sec_n" + std::to_string(n)] = eps;
+    std::printf("  n=%-4d %9.2f M events/s  (%llu events)\n", n, eps / 1e6,
+                static_cast<unsigned long long>(events));
+  }
+  {
+    std::uint64_t events = 0;
+    const double legacy_eps =
+        soupEventsPerSec<legacy::Engine>(128, 160000 / 128, &events);
+    results["legacy_events_per_sec_n128"] = legacy_eps;
+    const double speedup = results["events_per_sec_n128"] / legacy_eps;
+    results["speedup_vs_legacy_n128"] = speedup;
+    std::printf("  legacy n=128 %9.2f M events/s  -> speedup %.2fx\n",
+                legacy_eps / 1e6, speedup);
+  }
+
+  std::printf("MSM matcher (envelope index vs quadratic reference)\n");
+  {
+    std::uint64_t matched = 0;
+    const double mps = indexMatchesPerSec(makeMatchSoup(60000, 7), &matched);
+    results["matches_per_sec_index"] = mps;
+    std::printf("  index      %9.2f M matches/s (%llu matched of 60000)\n",
+                mps / 1e6, static_cast<unsigned long long>(matched));
+    const double qps = quadraticMatchesPerSec(makeMatchSoup(4000, 7));
+    results["matches_per_sec_quadratic"] = qps;
+    std::printf("  quadratic  %9.2f M matches/s (4000-descriptor soup)\n",
+                qps / 1e6);
+  }
+
+  std::printf("BCS-MPI runtime slice rate (neighbor exchange)\n");
+  for (const int n : soup_nodes) {
+    std::uint64_t slices = 0;
+    const double sps = runtimeSlicesPerSec(n, &slices);
+    results["slices_per_sec_n" + std::to_string(n)] = sps;
+    std::printf("  n=%-4d %9.1f slices/s (%llu slices simulated)\n", n, sps,
+                static_cast<unsigned long long>(slices));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"engine\"";
+  for (const auto& [key, value] : results) {
+    json << ",\n  \"" << key << "\": " << value;
+  }
+  json << "\n}\n";
+  {
+    std::ofstream f(out_path);
+    f << json.str();
+  }
+  std::printf("wrote %s\n", out_path);
+
+  if (baseline_path != nullptr) {
+    std::ifstream f(baseline_path);
+    if (!f) {
+      std::printf("baseline %s missing; skipping regression gate\n",
+                  baseline_path);
+      return 0;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string base = buf.str();
+    // Wall-clock throughput on shared CI machines is noisy; only a >30%
+    // drop on an engine events/sec key fails the gate.  The matcher and
+    // runtime-slice keys are tracked for the trajectory but not gated —
+    // their short timed regions swing well past 30% with machine load.
+    int failures = 0;
+    for (const auto& [key, value] : results) {
+      if (key.rfind("events_per_sec", 0) != 0) continue;
+      const double ref = jsonNumber(base, key);
+      if (!(ref > 0)) continue;  // key absent in the baseline
+      if (value < 0.70 * ref) {
+        std::printf("REGRESSION %s: %.3g vs baseline %.3g (-%.0f%%)\n",
+                    key.c_str(), value, ref, (1 - value / ref) * 100);
+        ++failures;
+      }
+    }
+    if (failures > 0) return 1;
+    std::printf("regression gate: ok (threshold -30%% vs %s)\n",
+                baseline_path);
+  }
+  return 0;
+}

@@ -79,8 +79,7 @@ void Runtime::executeBroadcast(int node, int job) {
     if (src == nullptr) {
       throw sim::SimError("bcast: root rank descriptor missing on owner");
     }
-    payload = std::make_shared<std::vector<std::byte>>(src,
-                                                       src + payload_bytes);
+    payload = payload_pool_.acquire(src, payload_bytes);
   }
 
   std::vector<int> dests;
@@ -226,7 +225,7 @@ void Runtime::reduceAdvance(int node, int job) {
 
 void Runtime::reduceSendUp(int node, int job) {
   PendingCollective& pc = nodeState(node).pending_coll[job];
-  auto snapshot = std::make_shared<std::vector<std::byte>>(pc.partial);
+  auto snapshot = payload_pool_.acquire(pc.partial.data(), pc.partial.size());
   const int parent = pc.parent_node;
   const Duration cost =
       static_cast<Duration>(pc.count) * config_.nic_reduce_per_element;
@@ -252,7 +251,7 @@ void Runtime::reduceSendUp(int node, int job) {
 void Runtime::reduceDeliverResult(int node, int job) {
   JobState& js = jobState(job);
   PendingCollective& pc = nodeState(node).pending_coll[job];
-  auto result = std::make_shared<std::vector<std::byte>>(pc.partial);
+  auto result = payload_pool_.acquire(pc.partial.data(), pc.partial.size());
 
   std::vector<int> dests;
   for (int n : js.nodes) {

@@ -89,17 +89,20 @@ void Runtime::runDem(int node, std::uint64_t seq) {
 
 void Runtime::drainDescriptorFifos(int node) {
   NodeState& ns = nodeState(node);
-  std::vector<SendDescriptor> to_exchange;
   // Retransmissions first: they are older than anything still in the fresh
   // FIFO, so draining them first preserves posting order as far as possible.
-  while (!ns.bs_retry.empty()) {
-    to_exchange.push_back(ns.bs_retry.front());
-    ns.bs_retry.pop_front();
-  }
-  while (!ns.bs_fresh.empty()) {
-    to_exchange.push_back(ns.bs_fresh.front());
-    ns.bs_fresh.pop_front();
-  }
+  // The whole batch is moved out of the NIC FIFOs in two splices — no
+  // element-by-element copy.
+  std::vector<SendDescriptor> to_exchange;
+  to_exchange.reserve(ns.bs_retry.size() + ns.bs_fresh.size());
+  to_exchange.insert(to_exchange.end(),
+                     std::make_move_iterator(ns.bs_retry.begin()),
+                     std::make_move_iterator(ns.bs_retry.end()));
+  to_exchange.insert(to_exchange.end(),
+                     std::make_move_iterator(ns.bs_fresh.begin()),
+                     std::make_move_iterator(ns.bs_fresh.end()));
+  ns.bs_retry.clear();
+  ns.bs_fresh.clear();
   while (!ns.recv_fresh.empty()) {
     RecvDescriptor r = ns.recv_fresh.front();
     ns.recv_fresh.pop_front();
@@ -109,7 +112,7 @@ void Runtime::drainDescriptorFifos(int node) {
       failRequest(r.job, r.dst_rank, r.request, r.want_src, r.want_tag);
       continue;
     }
-    ns.recv_eligible.push_back(std::move(r));
+    ns.recv_eligible.insert(r);
   }
   const int coll_processed = preprocessCollectivesCount(node);
 
@@ -141,7 +144,7 @@ void Runtime::drainDescriptorFifos(int node) {
     xfer.bytes = config_.descriptor_bytes;
     xfer.droppable = true;
     xfer.deliver = [this, node, dst_node, d](int) {
-      nodeState(dst_node).remote_sends.push_back(d);
+      nodeState(dst_node).remote_sends.insert(d);
       if (trace_) {
         trace_->record(cluster_.engine().now(),
                        sim::TraceCategory::kDescriptor, dst_node,
@@ -253,36 +256,47 @@ void Runtime::runMsm(int node, std::uint64_t seq) {
 
 void Runtime::matchDescriptors(int node, Duration& cost) {
   NodeState& ns = nodeState(node);
+  if (ns.recv_eligible.empty() || ns.remote_sends.empty()) return;
   // For each posted receive (in post order) find the matching remote send
   // descriptor with the lowest posting sequence — matching by seq rather
   // than arrival order preserves MPI's non-overtaking guarantee per
   // (source, tag) even when a retransmitted descriptor arrives a slice
   // later than a younger one.
-  for (auto rit = ns.recv_eligible.begin(); rit != ns.recv_eligible.end();) {
-    auto sit = ns.remote_sends.end();
-    for (auto cand = ns.remote_sends.begin(); cand != ns.remote_sends.end();
-         ++cand) {
-      if (!matches(*rit, *cand)) continue;
-      if (sit == ns.remote_sends.end() || cand->seq < sit->seq) sit = cand;
+  //
+  // Only receives that can possibly match need visiting: the concrete
+  // receives whose envelope has at least one arrived send (one bucket
+  // lookup per distinct send envelope) plus every wildcard receive.  The
+  // candidate list is sorted by posting seq, which for receives equals
+  // their old insertion order, so the pass visits the same receives the
+  // full quadratic scan would have matched, in the same order.
+  std::vector<std::uint64_t>& cand = ns.match_scratch;
+  cand.clear();
+  ns.remote_sends.forEachEnvelope([&](const EnvelopeKey& key) {
+    if (const auto* bucket = ns.recv_eligible.bucketFor(key)) {
+      cand.insert(cand.end(), bucket->begin(), bucket->end());
     }
-    if (sit == ns.remote_sends.end()) {
-      ++rit;
-      continue;
-    }
-    if (sit->bytes > rit->bytes) {
+  });
+  const auto& wilds = ns.recv_eligible.wildcards();
+  cand.insert(cand.end(), wilds.begin(), wilds.end());
+  std::sort(cand.begin(), cand.end());
+
+  for (const std::uint64_t recv_seq : cand) {
+    const RecvDescriptor* r = ns.recv_eligible.find(recv_seq);
+    if (r == nullptr) continue;  // consumed earlier this pass
+    const SendDescriptor* s = ns.remote_sends.lowestSeqMatch(*r);
+    if (s == nullptr) continue;  // its send went to an earlier receive
+    if (s->bytes > r->bytes) {
       throw sim::SimError("recv truncation: rank " +
-                          std::to_string(rit->dst_rank) + " posted " +
-                          std::to_string(rit->bytes) + "B for a " +
-                          std::to_string(sit->bytes) + "B message");
+                          std::to_string(r->dst_rank) + " posted " +
+                          std::to_string(r->bytes) + "B for a " +
+                          std::to_string(s->bytes) + "B message");
     }
     cost += config_.nic_match_cost;
     ++stats_.matches;
     MatchDescriptor m;
-    m.send = *sit;
-    m.recv = *rit;
+    m.send = ns.remote_sends.take(s->seq);
+    m.recv = ns.recv_eligible.take(recv_seq);
     ns.match_queue.push_back(std::move(m));
-    ns.remote_sends.erase(sit);
-    rit = ns.recv_eligible.erase(rit);
   }
 }
 
@@ -364,11 +378,14 @@ void Runtime::runP2p(int node, std::uint64_t seq) {
   NodeState& ns = nodeState(node);
   std::vector<GetOp> gets;
   gets.swap(ns.slice_gets);
+  // The swapped-out vector returns its capacity at the end of the phase (a
+  // retransmission push_back mid-phase may allocate; steady state does not).
+  ns.slice_gets.reserve(gets.capacity());
   beginNodePhase(node, seq, 0,
                  static_cast<Duration>(gets.size()) *
                      config_.nic_desc_processing);
   for (const GetOp& op : gets) {
-    const auto key = std::make_tuple(op.job, op.dst_rank, op.recv_req);
+    const ProgressKey key{op.job, op.dst_rank, op.recv_req};
     if (nodeEvicted(op.src_node)) {
       // Source died between scheduling and this phase.
       failRequest(op.job, op.dst_rank, op.recv_req, op.src_rank, op.tag);

@@ -249,18 +249,14 @@ bool Runtime::probe(int job, int rank, int src, int tag, mpi::Status* status,
     want.dst_rank = rank;
     want.want_src = src;
     want.want_tag = tag;
-    const SendDescriptor* found = nullptr;
-    for (const auto& s : ns.remote_sends) {
-      if (matches(want, s)) {
-        found = &s;
-        break;
-      }
-    }
+    // The index reports the lowest-seq matching send — the same descriptor
+    // the MSM would pair this probe's hypothetical receive with.
+    const SendDescriptor* found = ns.remote_sends.lowestSeqMatch(want);
     if (!found) {
       // A message being transferred right now is also "arrived" for probe
       // purposes (its envelope is known to the BR).
       for (const auto& m : ns.match_queue) {
-        if (m.recv.request == 0 && matches(want, m.send)) {
+        if (m.recv.request == 0 && envelopeMatches(want, m.send)) {
           found = &m.send;
           break;
         }
@@ -568,11 +564,11 @@ void Runtime::evictNodeState(int node) {
   // 1. Requests of *live* ranks whose completion depended on the dead node's
   //    local queues.  (The counterpart descriptor lives on the dead node and
   //    will be discarded below.)
-  for (const SendDescriptor& s : dead_ns.remote_sends) {
+  dead_ns.remote_sends.forEach([this](const SendDescriptor& s) {
     // A send whose descriptor reached the dead BR but never matched: the
     // (live) sender's request can no longer complete.
     failRequest(s.job, s.src_rank, s.request, s.dst_rank, s.tag);
-  }
+  });
   for (const MatchDescriptor& m : dead_ns.match_queue) {
     failRequest(m.send.job, m.send.src_rank, m.send.request, m.recv.dst_rank,
                 m.send.tag);
@@ -620,18 +616,12 @@ void Runtime::evictNodeState(int node) {
     ns.recv_fresh.erase(std::remove_if(ns.recv_fresh.begin(),
                                        ns.recv_fresh.end(), recv_from_dead),
                         ns.recv_fresh.end());
-    ns.recv_eligible.erase(
-        std::remove_if(ns.recv_eligible.begin(), ns.recv_eligible.end(),
-                       recv_from_dead),
-        ns.recv_eligible.end());
+    ns.recv_eligible.eraseIf(recv_from_dead);
     // Descriptors that arrived *from* ranks of the dead node can never be
     // paid off by a DH get; discard them so probes stop seeing ghosts.
-    ns.remote_sends.erase(
-        std::remove_if(ns.remote_sends.begin(), ns.remote_sends.end(),
-                       [this, node](const SendDescriptor& s) {
-                         return nodeOfRank(s.job, s.src_rank) == node;
-                       }),
-        ns.remote_sends.end());
+    ns.remote_sends.eraseIf([this, node](const SendDescriptor& s) {
+      return nodeOfRank(s.job, s.src_rank) == node;
+    });
     ns.match_queue.erase(
         std::remove_if(ns.match_queue.begin(), ns.match_queue.end(),
                        [this, node, &ns](const MatchDescriptor& m) {
@@ -641,8 +631,8 @@ void Runtime::evictNodeState(int node) {
                          failRequest(m.recv.job, m.recv.dst_rank,
                                      m.recv.request, m.send.src_rank,
                                      m.send.tag);
-                         ns.chunk_progress.erase(std::make_tuple(
-                             m.recv.job, m.recv.dst_rank, m.recv.request));
+                         ns.chunk_progress.erase(ProgressKey{
+                             m.recv.job, m.recv.dst_rank, m.recv.request});
                          return true;
                        }),
         ns.match_queue.end());
@@ -652,8 +642,8 @@ void Runtime::evictNodeState(int node) {
                          if (op.src_node != node) return false;
                          failRequest(op.job, op.dst_rank, op.recv_req,
                                      op.src_rank, op.tag);
-                         ns.chunk_progress.erase(std::make_tuple(
-                             op.job, op.dst_rank, op.recv_req));
+                         ns.chunk_progress.erase(
+                             ProgressKey{op.job, op.dst_rank, op.recv_req});
                          return true;
                        }),
         ns.slice_gets.end());

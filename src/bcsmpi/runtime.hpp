@@ -29,15 +29,16 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "bcs/core.hpp"
 #include "bcsmpi/config.hpp"
 #include "bcsmpi/descriptors.hpp"
+#include "bcsmpi/matching.hpp"
 #include "mpi/types.hpp"
 #include "net/cluster.hpp"
+#include "sim/pool.hpp"
 #include "sim/process.hpp"
 
 namespace bcs::bcsmpi {
@@ -256,14 +257,33 @@ class Runtime {
     std::uint64_t recv_req = 0;
   };
 
+  /// Identifies an in-progress message's byte accounting entry.
+  struct ProgressKey {
+    int job = 0;
+    int dst_rank = 0;
+    std::uint64_t recv_req = 0;
+    bool operator==(const ProgressKey&) const = default;
+  };
+  struct ProgressKeyHash {
+    std::size_t operator()(const ProgressKey& k) const {
+      std::uint64_t h = 1469598103934665603ull;
+      for (std::uint64_t v : {static_cast<std::uint64_t>(k.job),
+                              static_cast<std::uint64_t>(k.dst_rank),
+                              k.recv_req}) {
+        h = (h ^ v) * 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   struct NodeState {
     // Buffer Sender
     std::deque<SendDescriptor> bs_fresh;
     std::deque<SendDescriptor> bs_retry;  ///< lost in DEM, resent next slice
     // Buffer Receiver
-    std::deque<SendDescriptor> remote_sends;   ///< arrived during DEMs
-    std::deque<RecvDescriptor> recv_fresh;     ///< posted by local ranks
-    std::deque<RecvDescriptor> recv_eligible;  ///< visible to matching
+    SendMatchIndex remote_sends;   ///< arrived during DEMs, by envelope
+    std::deque<RecvDescriptor> recv_fresh;  ///< posted by local ranks
+    RecvMatchIndex recv_eligible;  ///< visible to matching, by envelope
     std::deque<MatchDescriptor> match_queue;   ///< unscheduled remainders
     std::deque<CollectiveDescriptor> coll_fresh;
     std::map<int, PendingCollective> pending_coll;  ///< by job id
@@ -272,8 +292,13 @@ class Runtime {
     /// Bytes landed so far per in-progress message, keyed by
     /// (job, dst_rank, recv_req).  Under retransmission a retried earlier
     /// chunk may deliver *after* the message's final chunk, so completion is
-    /// driven by byte accounting, not by the final-chunk flag.
-    std::map<std::tuple<int, int, std::uint64_t>, std::size_t> chunk_progress;
+    /// driven by byte accounting, not by the final-chunk flag.  Never
+    /// iterated, so hash order cannot leak into behavior.
+    std::unordered_map<ProgressKey, std::size_t, ProgressKeyHash>
+        chunk_progress;
+    /// MSM scratch: candidate recv seqs for this slice's matching pass
+    /// (member, not local, so its capacity survives across slices).
+    std::vector<std::uint64_t> match_scratch;
     // Node Manager
     std::vector<std::pair<int, int>> wake_list;   ///< (job, rank)
     std::vector<std::pair<int, int>> probe_waiters;
@@ -338,14 +363,6 @@ class Runtime {
   JobState& jobState(int job);
   NodeState& nodeState(int node);
 
-  /// MPI matching: wildcard tag matches only application (non-negative)
-  /// tags; internal negative tags must match exactly (see mpi/comm.hpp).
-  static bool matches(const RecvDescriptor& r, const SendDescriptor& s) {
-    return r.job == s.job && r.dst_rank == s.dst_rank &&
-           (r.want_src == mpi::kAnySource || r.want_src == s.src_rank) &&
-           (r.want_tag == s.tag || (r.want_tag == mpi::kAnyTag && s.tag >= 0));
-  }
-
   net::Cluster& cluster_;
   BcsMpiConfig config_;
   core::BcsCore core_;
@@ -373,6 +390,9 @@ class Runtime {
   int active_ranks_ = 0;
 
   std::vector<std::function<void(const CheckpointRecord&)>> checkpoint_cbs_;
+
+  /// Recycles collective payload buffers (see sim/pool.hpp).
+  sim::PayloadPool payload_pool_;
 
   RuntimeStats stats_;
 };

@@ -1,66 +1,270 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace bcs::sim {
 
-EventId Engine::at(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    throw SimError("Engine::at: scheduling into the past (when=" +
-                   formatTime(when) + ", now=" + formatTime(now_) + ")");
+void simFail(const std::string& what) {
+#if defined(__cpp_exceptions)
+  throw SimError(what);
+#else
+  std::fprintf(stderr, "bcssim fatal: %s\n", what.c_str());
+  std::abort();
+#endif
+}
+
+Engine::Engine() : buckets_(kNumBuckets) {
+  free_.reserve(kChunkSize);
+  overflow_.reserve(64);
+}
+
+void Engine::failSchedulePast(SimTime when) const {
+  simFail("Engine::at: scheduling into the past (when=" + formatTime(when) +
+          ", now=" + formatTime(now_) + ")");
+}
+
+void Engine::failNegativeDelay() { simFail("Engine::after: negative delay"); }
+
+std::uint32_t Engine::acquireNode() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
   }
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(fn));
-  ++live_;
-  return EventId{seq};
+  const std::uint32_t slot = node_count_++;
+  if ((slot >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  return slot;
 }
 
-EventId Engine::after(Duration delay, std::function<void()> fn) {
-  if (delay < 0) throw SimError("Engine::after: negative delay");
-  return at(now_ + delay, std::move(fn));
+void Engine::releaseNode(std::uint32_t slot) {
+  Node& n = node(slot);
+  n.armed = false;
+  ++n.gen;  // invalidate any outstanding handles to this slot
+  free_.push_back(slot);
 }
 
-bool Engine::cancel(EventId id) {
-  auto it = callbacks_.find(id.seq);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_;
+void Engine::heapPush(std::vector<QEntry>& heap, QEntry entry) {
+  heap.push_back(entry);
+  std::size_t i = heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!entry.firesBefore(heap[parent])) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = entry;
+}
+
+void Engine::heapPop(std::vector<QEntry>& heap) {
+  const QEntry last = heap.back();
+  heap.pop_back();
+  if (heap.empty()) return;
+  std::size_t i = 0;
+  const std::size_t n = heap.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap[child + 1].firesBefore(heap[child])) ++child;
+    if (!heap[child].firesBefore(last)) break;
+    heap[i] = heap[child];
+    i = child;
+  }
+  heap[i] = last;
+}
+
+// Descending (when, seq): back() of a sorted bucket is the earliest entry.
+static constexpr auto kLaterFirst = [](const auto& a, const auto& b) {
+  return b.firesBefore(a);
+};
+
+void Engine::enqueue(QEntry entry) {
+  std::uint64_t idx = static_cast<std::uint64_t>(entry.when) >> kBucketShift;
+  // The cursor may already have scanned past this event's natural bucket
+  // (base_ tracks the wheel minimum, and `when >= now_` is all we checked).
+  // Clamping keeps ordering correct: within a bucket entries order by
+  // (when, seq), and all later buckets hold strictly later times.
+  if (idx < base_) idx = base_;
+  if (idx < base_ + kNumBuckets) {
+    auto& bucket = buckets_[idx & kBucketMask];
+    if (idx == sorted_bucket_) {
+      // Late arrival into the bucket currently being drained: keep it
+      // sorted so pop order stays exact.
+      bucket.insert(
+          std::upper_bound(bucket.begin(), bucket.end(), entry, kLaterFirst),
+          entry);
+    } else {
+      bucket.push_back(entry);
+    }
+    ++wheel_count_;
+  } else {
+    heapPush(overflow_, entry);
+  }
+}
+
+bool Engine::peekNext(QEntry& entry, bool& from_overflow) {
+  // Drop dead entries from the overflow top first so the comparison below
+  // sees a live candidate (or none).
+  while (!overflow_.empty() && !node(overflow_.front().slot).armed) {
+    releaseNode(overflow_.front().slot);
+    heapPop(overflow_);
+    ++dropped_tombstones_;
+  }
+  // Advance the cursor to the first bucket with a live entry, sorting each
+  // bucket once as the cursor reaches it.
+  const QEntry* wheel_top = nullptr;
+  while (wheel_count_ > 0) {
+    auto& bucket = buckets_[base_ & kBucketMask];
+    if (!bucket.empty() && base_ != sorted_bucket_) {
+      std::sort(bucket.begin(), bucket.end(), kLaterFirst);
+      sorted_bucket_ = base_;
+    }
+    while (!bucket.empty() && !node(bucket.back().slot).armed) {
+      releaseNode(bucket.back().slot);
+      bucket.pop_back();
+      --wheel_count_;
+      ++dropped_tombstones_;
+    }
+    if (!bucket.empty()) {
+      wheel_top = &bucket.back();
+      break;
+    }
+    ++base_;
+  }
+  if (wheel_top == nullptr && overflow_.empty()) return false;
+  if (wheel_top == nullptr) {
+    entry = overflow_.front();
+    from_overflow = true;
+    // All activity lives beyond the horizon; jump the cursor so future
+    // enqueues near this time land in the wheel again.
+    const std::uint64_t idx =
+        static_cast<std::uint64_t>(overflow_.front().when) >> kBucketShift;
+    if (idx > base_) base_ = idx;
+    return true;
+  }
+  if (!overflow_.empty() && overflow_.front().firesBefore(*wheel_top)) {
+    entry = overflow_.front();
+    from_overflow = true;
+    return true;
+  }
+  entry = *wheel_top;
+  from_overflow = false;
   return true;
 }
 
-bool Engine::step() {
-  while (!heap_.empty()) {
-    Entry top = heap_.top();
-    auto it = callbacks_.find(top.seq);
-    if (it == callbacks_.end()) {
-      heap_.pop();  // tombstone left by cancel()
-      continue;
-    }
-    heap_.pop();
-    now_ = top.when;
-    // Move the callback out before erasing so that the callback may freely
-    // schedule/cancel events (including re-entrantly growing callbacks_).
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    --live_;
-    ++executed_;
-    fn();
-    return true;
+void Engine::extract(bool from_overflow) {
+  if (from_overflow) {
+    heapPop(overflow_);
+  } else {
+    buckets_[base_ & kBucketMask].pop_back();
+    --wheel_count_;
   }
-  return false;
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const std::uint32_t slot = id.slot - 1;
+  if (slot >= node_count_) return false;
+  Node& n = node(slot);
+  if (!n.armed || n.gen != id.gen) return false;
+  n.armed = false;  // queue entry becomes a tombstone, reclaimed lazily
+  n.fn.reset();
+  --live_;
+  ++cancelled_;
+  return true;
+}
+
+// Fires the event in `entry` (already extracted from the queue).  The
+// callback runs in place: node addresses are stable and the slot is not
+// released until the callback returns, so reentrant at()/cancel() calls are
+// safe and a self-cancel fails harmlessly (armed is already false).
+void Engine::fire(const QEntry& entry) {
+  now_ = entry.when;
+  Node& n = node(entry.slot);
+  n.armed = false;
+  --live_;
+  ++executed_;
+#if defined(__cpp_exceptions)
+  try {
+    n.fn.invokeAndReset();
+  } catch (...) {
+    n.fn.reset();
+    releaseNode(entry.slot);
+    throw;
+  }
+#else
+  n.fn.invokeAndReset();
+#endif
+  releaseNode(entry.slot);
+}
+
+bool Engine::step() {
+  QEntry entry;
+  bool from_overflow;
+  if (!peekNext(entry, from_overflow)) return false;
+  extract(from_overflow);
+  fire(entry);
+  return true;
 }
 
 SimTime Engine::run(SimTime until) {
-  while (!heap_.empty()) {
-    // Peek past tombstones to find the next live event time.
-    Entry top = heap_.top();
-    if (callbacks_.find(top.seq) == callbacks_.end()) {
-      heap_.pop();
+  // Fused peek + extract + fire loop.  Equivalent to `while (step())` with
+  // an `until` bound, but keeps the bucket reference and queue entry in
+  // registers across the pop instead of re-deriving them per event.
+  for (;;) {
+    while (!overflow_.empty() && !node(overflow_.front().slot).armed) {
+      releaseNode(overflow_.front().slot);
+      heapPop(overflow_);
+      ++dropped_tombstones_;
+    }
+    std::vector<QEntry>* bucket = nullptr;
+    while (wheel_count_ > 0) {
+      bucket = &buckets_[base_ & kBucketMask];
+      if (!bucket->empty() && base_ != sorted_bucket_) {
+        std::sort(bucket->begin(), bucket->end(), kLaterFirst);
+        sorted_bucket_ = base_;
+      }
+      while (!bucket->empty() && !node(bucket->back().slot).armed) {
+        releaseNode(bucket->back().slot);
+        bucket->pop_back();
+        --wheel_count_;
+        ++dropped_tombstones_;
+      }
+      if (!bucket->empty()) break;
+      bucket = nullptr;
+      ++base_;
+    }
+    if (bucket == nullptr) {
+      if (overflow_.empty()) break;  // queue exhausted
+      const QEntry entry = overflow_.front();
+      if (entry.when > until) break;
+      // All activity lives beyond the horizon; jump the cursor so future
+      // enqueues near this time land in the wheel again.
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(entry.when) >> kBucketShift;
+      if (idx > base_) base_ = idx;
+      heapPop(overflow_);
+      fire(entry);
       continue;
     }
-    if (top.when > until) break;
-    step();
+    const QEntry wheel_top = bucket->back();
+    if (!overflow_.empty() && overflow_.front().firesBefore(wheel_top)) {
+      const QEntry entry = overflow_.front();
+      if (entry.when > until) break;
+      heapPop(overflow_);
+      fire(entry);
+      continue;
+    }
+    if (wheel_top.when > until) break;
+    bucket->pop_back();
+    --wheel_count_;
+    // Warm the next victim's node line while this callback runs.
+    if (!bucket->empty()) __builtin_prefetch(&node(bucket->back().slot));
+    fire(wheel_top);
   }
   if (now_ < until && until != INT64_MAX) now_ = until;
   return now_;

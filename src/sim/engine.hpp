@@ -11,25 +11,44 @@
 //    reproducibility on any host, including the 1-core build machines.
 //  * Ties are broken by insertion order (a monotonically increasing sequence
 //    number), never by pointer values, so runs are deterministic.
-//  * Cancellation is O(log n) amortized: cancelled entries stay in the heap
-//    and are skipped when popped.
+//  * The pending set is a two-level calendar queue: near-future events live
+//    in a wheel of fixed-width buckets indexed by (when >> kBucketShift);
+//    events beyond the wheel horizon go to an overflow heap and are compared
+//    against the wheel cursor on every pop.  Buckets are plain vectors:
+//    enqueue is push_back, and the bucket is sorted by (when, seq) exactly
+//    once, when the cursor first reaches it, after which draining is
+//    pop_back.  Late arrivals into the already-sorted current bucket (a
+//    callback scheduling within the same ~2 us window) use a sorted insert.
+//  * Event nodes are pooled and reused; the callback lives in a
+//    small-buffer-optimized slot inside the node, so the common
+//    at/after/cancel/run cycle performs zero heap allocations for callables
+//    up to EventCallback::kInlineBytes.
+//  * Cancellation is O(1): an EventId carries the node's generation, cancel
+//    disarms the node (and frees its callback) in place, and the disarmed
+//    entry is dropped lazily when the queue walk reaches it (see
+//    droppedTombstones()).
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace bcs::sim {
 
-/// Handle to a scheduled event; usable to cancel it before it fires.
+/// Handle to a scheduled event; usable to cancel it before it fires.  The
+/// generation check makes stale handles (already fired, cancelled, or whose
+/// pooled node was reused) fail cancel() harmlessly.
 struct EventId {
-  std::uint64_t seq = 0;
-  bool valid() const { return seq != 0; }
+  std::uint32_t slot = 0;  ///< 1-based pool slot; 0 = never scheduled
+  std::uint32_t gen = 0;
+  bool valid() const { return slot != 0; }
 };
 
 /// Thrown when the simulation reaches a state it cannot make progress from
@@ -40,10 +59,142 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Reports a fatal simulation error.  Throws SimError where exceptions are
+/// available; prints and aborts under -fno-exceptions, so the sim layer stays
+/// usable in exception-free benchmark builds.
+[[noreturn]] void simFail(const std::string& what);
+
+/// Move-only type-erased callable with a small-buffer slot.  Callables up to
+/// kInlineBytes (with alignment <= kInlineAlign) that are
+/// nothrow-move-constructible are stored in place; anything larger falls back
+/// to one heap allocation.  The slot is sized so a whole event node fits in
+/// one 64-byte cache line.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 40;
+  static constexpr std::size_t kInlineAlign = 8;
+
+  EventCallback() noexcept = default;
+  EventCallback(EventCallback&& o) noexcept { moveFrom(o); }
+  EventCallback& operator=(EventCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      moveFrom(o);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  template <typename Fn>
+  void emplace(Fn&& fn) {
+    using F = std::decay_t<Fn>;
+    reset();
+    if constexpr (sizeof(F) <= kInlineBytes && alignof(F) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<F>) {
+      ::new (static_cast<void*>(storage_)) F(std::forward<Fn>(fn));
+      vt_ = &kInlineVTable<F>;
+    } else {
+      heap_ = new F(std::forward<Fn>(fn));
+      vt_ = &kHeapVTable<F>;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(object()); }
+
+  /// Invokes the callable, then destroys it, through a single fused vtable
+  /// entry (one indirect call instead of two on the per-event hot path).
+  /// If the callable throws it is left intact; reset() then cleans it up.
+  void invokeAndReset() {
+    const VTable* vt = vt_;
+    void* obj = object();
+    vt->invoke_destroy(obj);
+    vt_ = nullptr;
+    heap_ = nullptr;
+  }
+
+  void reset() {
+    if (!vt_) return;
+    vt_->destroy(object());
+    vt_ = nullptr;
+    heap_ = nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*invoke_destroy)(void*);  ///< fused call-then-destroy (hot path)
+    void (*destroy)(void*);
+    /// Move-construct dst from src, then destroy src.  Null for heap-stored
+    /// callables (moves just steal the pointer).
+    void (*relocate)(void* dst, void* src);
+  };
+
+  template <typename F>
+  static void invokeFn(void* p) {
+    (*static_cast<F*>(p))();
+  }
+  template <typename F>
+  static void invokeDestroyInline(void* p) {
+    F* f = static_cast<F*>(p);
+    (*f)();
+    f->~F();
+  }
+  template <typename F>
+  static void invokeDestroyHeap(void* p) {
+    F* f = static_cast<F*>(p);
+    (*f)();
+    delete f;
+  }
+  template <typename F>
+  static void destroyInline(void* p) {
+    static_cast<F*>(p)->~F();
+  }
+  template <typename F>
+  static void destroyHeap(void* p) {
+    delete static_cast<F*>(p);
+  }
+  template <typename F>
+  static void relocateFn(void* dst, void* src) {
+    ::new (dst) F(std::move(*static_cast<F*>(src)));
+    static_cast<F*>(src)->~F();
+  }
+
+  template <typename F>
+  static constexpr VTable kInlineVTable{&invokeFn<F>, &invokeDestroyInline<F>,
+                                        &destroyInline<F>, &relocateFn<F>};
+  template <typename F>
+  static constexpr VTable kHeapVTable{&invokeFn<F>, &invokeDestroyHeap<F>,
+                                      &destroyHeap<F>, nullptr};
+
+  void* object() {
+    return vt_ && vt_->relocate ? static_cast<void*>(storage_) : heap_;
+  }
+
+  void moveFrom(EventCallback& o) noexcept {
+    vt_ = o.vt_;
+    if (!vt_) return;
+    if (vt_->relocate) {
+      vt_->relocate(storage_, o.storage_);
+    } else {
+      heap_ = o.heap_;
+      o.heap_ = nullptr;
+    }
+    o.vt_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineBytes];
+  void* heap_ = nullptr;
+  const VTable* vt_ = nullptr;
+};
+
 /// The event engine.  Owns the clock and the pending-event queue.
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -51,12 +202,27 @@ class Engine {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (must be >= now()).
-  EventId at(SimTime when, std::function<void()> fn);
+  template <typename Fn>
+  EventId at(SimTime when, Fn&& fn) {
+    if (when < now_) failSchedulePast(when);
+    const std::uint32_t slot = acquireNode();
+    Node& n = node(slot);
+    n.armed = true;
+    n.fn.emplace(std::forward<Fn>(fn));
+    ++live_;
+    enqueue(QEntry{when, next_seq_++, slot});
+    return EventId{slot + 1, n.gen};
+  }
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
-  EventId after(Duration delay, std::function<void()> fn);
+  template <typename Fn>
+  EventId after(Duration delay, Fn&& fn) {
+    if (delay < 0) failNegativeDelay();
+    return at(now_ + delay, std::forward<Fn>(fn));
+  }
 
-  /// Cancels a pending event.  Returns true if the event was still pending.
+  /// Cancels a pending event in O(1).  Returns true if the event was still
+  /// pending; the queued entry becomes a tombstone dropped lazily.
   bool cancel(EventId id);
 
   /// Runs until the queue drains or `until` is reached (whichever first).
@@ -67,32 +233,95 @@ class Engine {
   /// empty.  Useful for fine-grained unit tests of the engine itself.
   bool step();
 
-  /// Number of events currently pending (including not-yet-skipped
-  /// cancelled entries' live complement).
+  /// Number of live (scheduled, not cancelled, not yet fired) events.
   std::size_t pendingEvents() const { return live_; }
 
   /// Total number of events executed since construction.
   std::uint64_t executedEvents() const { return executed_; }
 
+  /// Cancelled entries physically reclaimed from the queue so far; together
+  /// with cancelledEvents() this makes cancellation overhead observable.
+  std::uint64_t droppedTombstones() const { return dropped_tombstones_; }
+
+  /// Total successful cancel() calls since construction.
+  std::uint64_t cancelledEvents() const { return cancelled_; }
+
  private:
-  struct Entry {
+  /// Pooled event node.  The ordering key (when, seq) lives only in the
+  /// queue entry; the node carries just the callback and handle state, so a
+  /// node is exactly one cache line.  Nodes live in fixed-size chunks whose
+  /// addresses never move, which lets run() invoke a callback in place (no
+  /// per-event move-out) while the callback freely schedules more events.
+  struct Node {
+    EventCallback fn;
+    std::uint32_t gen = 0;
+    bool armed = false;
+  };
+  static_assert(sizeof(Node) <= 64, "event node should stay one cache line");
+
+  static constexpr std::uint32_t kChunkShift = 10;  // 1024 nodes per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  // 2^11 ns (~2 us) buckets; 2048 of them give an ~4.2 ms horizon, over 8
+  // default time slices.  Anything further lands in the overflow heap.
+  // Narrow buckets keep per-bucket sorts small (the sort is the dominant
+  // drain cost); the horizon only has to cover the densely-populated near
+  // future, since far-future timers are cheap in the overflow heap.
+  static constexpr int kBucketShift = 11;
+  static constexpr std::uint64_t kNumBuckets = 2048;
+  static constexpr std::uint64_t kBucketMask = kNumBuckets - 1;
+
+  /// Queue entry: the ordering key is carried alongside the slot index so
+  /// sorting and heap sifts stay inside the (hot, contiguous) queue arrays
+  /// and never chase into the node pool.
+  struct QEntry {
     SimTime when;
     std::uint64_t seq;
-    // Min-heap: earliest time first; FIFO among equal times.
-    bool operator>(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
+    std::uint32_t slot;
+    bool firesBefore(const QEntry& o) const {
+      return when != o.when ? when < o.when : seq < o.seq;
     }
   };
+
+  [[noreturn]] void failSchedulePast(SimTime when) const;
+  [[noreturn]] static void failNegativeDelay();
+
+  Node& node(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+  std::uint32_t acquireNode();
+  void releaseNode(std::uint32_t slot);
+  void enqueue(QEntry entry);
+  /// Locates the earliest live event without removing it, dropping any
+  /// tombstones in the way.  Returns false when no live event remains.
+  bool peekNext(QEntry& entry, bool& from_overflow);
+  void extract(bool from_overflow);
+  void fire(const QEntry& entry);
+  static void heapPush(std::vector<QEntry>& heap, QEntry entry);
+  static void heapPop(std::vector<QEntry>& heap);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t dropped_tombstones_ = 0;
   std::size_t live_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  // seq -> callback; erased on cancel, so heap entries with no callback are
-  // tombstones.
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;  ///< stable pooled nodes
+  std::uint32_t node_count_ = 0;     ///< slots handed out so far
+  std::vector<std::uint32_t> free_;  ///< reusable slots, LIFO
+
+  std::uint64_t base_ = 0;  ///< absolute bucket index of the wheel cursor
+  /// Absolute index of the bucket sorted for draining (only ever the one at
+  /// the cursor); UINT64_MAX when none.  base_ is monotone, so a stale value
+  /// can never collide with a future bucket index.
+  std::uint64_t sorted_bucket_ = UINT64_MAX;
+  std::size_t wheel_count_ = 0;  ///< entries in the wheel (incl. tombstones)
+  /// Per-bucket entry lists; the bucket at sorted_bucket_ is sorted
+  /// descending by (when, seq) so back() is the earliest entry.
+  std::vector<std::vector<QEntry>> buckets_;
+  std::vector<QEntry> overflow_;  ///< beyond-horizon min-heap
 };
 
 }  // namespace bcs::sim

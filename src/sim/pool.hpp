@@ -1,0 +1,76 @@
+#pragma once
+
+// A freelist pool for byte-buffer payloads.
+//
+// Collective execution (and anything else shipping payload copies through
+// the simulated fabric) used to allocate a fresh
+// shared_ptr<vector<std::byte>> per hop; across thousands of slices that is
+// pure allocator churn.  The pool hands out the same shared_ptr-based
+// handles, but the control block's deleter returns the vector (capacity
+// intact) to a freelist instead of freeing it.
+//
+// Lifetime: the freelist state is itself held by shared_ptr and captured by
+// every deleter, so handles may outlive the pool object (events still queued
+// in the engine when the owning Runtime dies drop their buffers safely —
+// they just free instead of recycling once the pool is gone).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace bcs::sim {
+
+class PayloadPool {
+ public:
+  using Buffer = std::vector<std::byte>;
+  using Ptr = std::shared_ptr<Buffer>;
+
+  /// Retaining more spare buffers than any realistic fan-out needs just
+  /// pins memory; beyond this the deleter lets buffers die normally.
+  static constexpr std::size_t kMaxSpare = 64;
+
+  PayloadPool() : state_(std::make_shared<State>()) {}
+
+  /// An uninitialized (resized) buffer of `bytes` bytes.
+  Ptr acquire(std::size_t bytes) {
+    Buffer* raw = grab();
+    raw->resize(bytes);
+    return wrap(raw);
+  }
+
+  /// A buffer holding a copy of [data, data + bytes).
+  Ptr acquire(const std::byte* data, std::size_t bytes) {
+    Buffer* raw = grab();
+    raw->assign(data, data + bytes);
+    return wrap(raw);
+  }
+
+  std::size_t spareBuffers() const { return state_->spare.size(); }
+
+ private:
+  struct State {
+    std::vector<std::unique_ptr<Buffer>> spare;
+  };
+
+  Buffer* grab() {
+    if (state_->spare.empty()) return new Buffer();
+    Buffer* raw = state_->spare.back().release();
+    state_->spare.pop_back();
+    return raw;
+  }
+
+  Ptr wrap(Buffer* raw) {
+    return Ptr(raw, [st = state_](Buffer* b) {
+      if (st->spare.size() < kMaxSpare) {
+        b->clear();  // keeps capacity for the next acquire
+        st->spare.emplace_back(b);
+      } else {
+        delete b;
+      }
+    });
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace bcs::sim

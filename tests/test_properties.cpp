@@ -11,12 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
 #include <numeric>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "baseline/baseline.hpp"
 #include "bcsmpi/comm.hpp"
+#include "bcsmpi/matching.hpp"
 #include "net/cluster.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -167,6 +171,149 @@ std::string networkCaseName(const ::testing::TestParamInfo<int>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllNetworks, FabricSerialization,
                          ::testing::Range(0, 5), networkCaseName);
+
+// ---- MSM matcher: envelope index vs reference quadratic matcher ----
+
+// The envelope-hash match index (bcsmpi/matching.hpp) must produce the
+// exact match sequence of the original quadratic matcher: visit receives in
+// posting order, pair each with the lowest-posting-seq matching send (MPI
+// non-overtaking).  Random soups cover wildcard source/tag receives,
+// internal negative tags, and send arrival orders scrambled by simulated
+// retransmission.
+class MatcherEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace matcher_ref {
+
+using bcsmpi::RecvDescriptor;
+using bcsmpi::SendDescriptor;
+using MatchLog = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+// Verbatim port of the pre-index Runtime::matchDescriptors loop.
+MatchLog quadratic(std::deque<RecvDescriptor> recvs,
+                   std::deque<SendDescriptor> sends) {
+  MatchLog log;
+  for (auto rit = recvs.begin(); rit != recvs.end();) {
+    auto sit = sends.end();
+    for (auto cand = sends.begin(); cand != sends.end(); ++cand) {
+      if (!bcsmpi::envelopeMatches(*rit, *cand)) continue;
+      if (sit == sends.end() || cand->seq < sit->seq) sit = cand;
+    }
+    if (sit == sends.end()) {
+      ++rit;
+      continue;
+    }
+    log.emplace_back(rit->seq, sit->seq);
+    sends.erase(sit);
+    rit = recvs.erase(rit);
+  }
+  return log;
+}
+
+// The candidate-list pass from Runtime::matchDescriptors, driven through
+// the public index API.
+MatchLog indexed(bcsmpi::RecvMatchIndex& recvs, bcsmpi::SendMatchIndex& sends) {
+  MatchLog log;
+  std::vector<std::uint64_t> cand;
+  sends.forEachEnvelope([&](const bcsmpi::EnvelopeKey& key) {
+    if (const auto* bucket = recvs.bucketFor(key)) {
+      cand.insert(cand.end(), bucket->begin(), bucket->end());
+    }
+  });
+  cand.insert(cand.end(), recvs.wildcards().begin(), recvs.wildcards().end());
+  std::sort(cand.begin(), cand.end());
+  for (const std::uint64_t recv_seq : cand) {
+    const RecvDescriptor* r = recvs.find(recv_seq);
+    if (r == nullptr) continue;
+    const SendDescriptor* s = sends.lowestSeqMatch(*r);
+    if (s == nullptr) continue;
+    log.emplace_back(recv_seq, s->seq);
+    sends.take(s->seq);
+    recvs.take(recv_seq);
+  }
+  return log;
+}
+
+}  // namespace matcher_ref
+
+TEST_P(MatcherEquivalence, IndexMatcherReproducesQuadraticMatchSequence) {
+  sim::Rng rng(GetParam());
+  std::uint64_t next_seq = 0;
+
+  bcsmpi::SendMatchIndex send_index;
+  bcsmpi::RecvMatchIndex recv_index;
+  std::deque<bcsmpi::SendDescriptor> ref_sends;
+  std::deque<bcsmpi::RecvDescriptor> ref_recvs;
+
+  // Several matching rounds against carried-over leftovers, like successive
+  // MSM slices.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<bcsmpi::SendDescriptor> sends;
+    const int n_sends = 20 + static_cast<int>(rng.below(30));
+    for (int i = 0; i < n_sends; ++i) {
+      bcsmpi::SendDescriptor s;
+      s.job = static_cast<int>(rng.below(2));
+      s.dst_rank = static_cast<int>(rng.below(2));
+      s.src_rank = static_cast<int>(rng.below(4));
+      // Mostly small app tags; occasionally an internal negative tag.
+      s.tag = rng.below(8) == 0 ? -2 : static_cast<int>(rng.below(3));
+      s.bytes = 64;
+      s.seq = ++next_seq;
+      sends.push_back(s);
+    }
+    const int n_recvs = 20 + static_cast<int>(rng.below(30));
+    std::vector<bcsmpi::RecvDescriptor> recvs;
+    for (int i = 0; i < n_recvs; ++i) {
+      bcsmpi::RecvDescriptor r;
+      r.job = static_cast<int>(rng.below(2));
+      r.dst_rank = static_cast<int>(rng.below(2));
+      r.want_src = rng.below(5) == 0 ? mpi::kAnySource
+                                     : static_cast<int>(rng.below(4));
+      r.want_tag = rng.below(5) == 0
+                       ? mpi::kAnyTag
+                       : (rng.below(8) == 0 ? -2
+                                            : static_cast<int>(rng.below(3)));
+      r.bytes = 64;
+      r.seq = ++next_seq;
+      recvs.push_back(r);
+    }
+    // Sends arrive in scrambled order (retransmitted descriptors land
+    // behind younger ones); receives become eligible in posting order.
+    for (std::size_t i = sends.size(); i > 1; --i) {
+      std::swap(sends[i - 1], sends[rng.below(i)]);
+    }
+    for (const auto& s : sends) {
+      send_index.insert(s);
+      ref_sends.push_back(s);
+    }
+    for (const auto& r : recvs) {
+      recv_index.insert(r);
+      ref_recvs.push_back(r);
+    }
+
+    const auto expected = matcher_ref::quadratic(ref_recvs, ref_sends);
+    const auto actual = matcher_ref::indexed(recv_index, send_index);
+    ASSERT_EQ(actual, expected) << "seed " << GetParam() << " round " << round;
+
+    // Mirror the consumed pairs in the reference queues for the next round.
+    for (const auto& [recv_seq, send_seq] : expected) {
+      ref_recvs.erase(std::find_if(
+          ref_recvs.begin(), ref_recvs.end(),
+          [s = recv_seq](const auto& r) { return r.seq == s; }));
+      ref_sends.erase(std::find_if(
+          ref_sends.begin(), ref_sends.end(),
+          [s = send_seq](const auto& d) { return d.seq == s; }));
+    }
+    ASSERT_EQ(send_index.size(), ref_sends.size());
+    ASSERT_EQ(recv_index.size(), ref_recvs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherEquivalence,
+                         ::testing::Values(1u, 7u, 42u, 123u, 999u, 5309u,
+                                           271828u, 3141592u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 // ---- randomized message soup, both implementations ----
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "sim/cpu.hpp"
@@ -104,6 +105,100 @@ TEST(Engine, StepExecutesExactlyOne) {
   EXPECT_TRUE(eng.step());
   EXPECT_FALSE(eng.step());
   EXPECT_EQ(count, 2);
+}
+
+// The calendar queue places events ~4 us apart in different wheel buckets
+// and same-instant events in the same bucket heap; ordering must come out
+// by (time, insertion) regardless of bucket placement.
+TEST(Engine, CalendarTieOrderAcrossBucketBoundaries) {
+  Engine eng;
+  std::vector<int> order;
+  // Interleave insertions across three bucket-straddling times, plus exact
+  // ties at a bucket edge (4096 ns is the first bucket boundary).
+  eng.at(nsec(4097), [&] { order.push_back(3); });
+  eng.at(nsec(4095), [&] { order.push_back(1); });
+  eng.at(nsec(4096), [&] { order.push_back(2); });
+  eng.at(nsec(8192), [&] { order.push_back(5); });
+  eng.at(nsec(8192), [&] { order.push_back(6); });  // tie: insertion order
+  eng.at(nsec(4097), [&] { order.push_back(4); });  // tie: insertion order
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+// After the wheel cursor has advanced far beyond one full lap, a slot index
+// is reused by a much later bucket; events and cancellations must still
+// resolve against the right occupants.
+TEST(Engine, CancelAfterWheelRollover) {
+  Engine eng;
+  int fired = 0;
+  // Advance well past one wheel lap (2048 buckets * 4096 ns ≈ 8.4 ms).
+  eng.at(msec(20), [&] { ++fired; });
+  eng.run();
+  ASSERT_EQ(fired, 1);
+  // A handle from before the rollover epoch must not cancel the new
+  // occupant of its reused slot.
+  EventId stale{};
+  stale = eng.at(msec(25), [&] { ++fired; });
+  EXPECT_TRUE(eng.cancel(stale));
+  EventId fresh = eng.at(msec(25), [&] { ++fired; });
+  EXPECT_FALSE(eng.cancel(stale));  // stale handle, slot likely reused
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(eng.cancel(fresh));  // already fired
+}
+
+// Events beyond the wheel horizon land in the overflow heap; they must
+// interleave correctly with near-future events and with events scheduled
+// after the cursor has jumped forward.
+TEST(Engine, FarFutureOverflowOrdering) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(sec(2), [&] { order.push_back(4); });     // far overflow
+  eng.at(usec(5), [&] { order.push_back(1); });    // wheel
+  eng.at(msec(500), [&] { order.push_back(3); });  // overflow
+  eng.at(msec(1), [&] { order.push_back(2); });    // wheel
+  // From the 500 ms event, schedule near-future work that must precede the
+  // 2 s overflow event even though the cursor just jumped.
+  eng.at(msec(500), [&] {
+    eng.after(usec(10), [&] { order.push_back(35); });
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 35, 4}));
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+}
+
+// pendingEvents() counts live events only; cancelled entries are dropped
+// lazily and reported through droppedTombstones().
+TEST(Engine, PendingCountsLiveEventsAndTombstonesAreObservable) {
+  Engine eng;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(eng.at(usec(10 + i), [] {}));
+  }
+  EXPECT_EQ(eng.pendingEvents(), 8u);
+  for (int i = 0; i < 8; i += 2) eng.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(eng.pendingEvents(), 4u);  // live only, despite queued tombstones
+  EXPECT_EQ(eng.cancelledEvents(), 4u);
+  eng.run();
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+  EXPECT_EQ(eng.executedEvents(), 4u);
+  EXPECT_EQ(eng.droppedTombstones(), 4u);  // reclaimed during the run
+}
+
+// Callables larger than the inline slot take the heap fallback; both paths
+// must run and destruct correctly.
+TEST(Engine, LargeCallbacksUseHeapFallbackCorrectly) {
+  Engine eng;
+  std::array<std::uint64_t, 16> big{};  // 128 B: beyond the inline slot
+  big.fill(7);
+  std::uint64_t sum = 0;
+  eng.at(usec(1), [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  auto cancelled = eng.at(usec(2), [big, &sum] { sum += big[0]; });
+  eng.cancel(cancelled);  // heap callable destroyed on cancel, not leaked
+  eng.run();
+  EXPECT_EQ(sum, 7u * 16u);
 }
 
 // ---------------------------------------------------------------- Fiber --
