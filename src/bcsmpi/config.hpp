@@ -26,6 +26,17 @@ struct BcsMpiConfig {
   /// polling for microphase completion.
   Duration strobe_poll_interval = sim::usec(5);
 
+  /// Slice watchdog: a Strobe Receiver that hears no microstrobe for
+  /// `watchdog_slices` × time_slice suspects the Strobe Sender died and
+  /// enters the failover election (lowest-id live compute node promotes
+  /// itself to backup Strobe Sender).  0 disables the watchdog.
+  int watchdog_slices = 8;
+
+  /// Back-off before a backup Strobe Sender candidate retries a failed
+  /// epoch claim (the Compare-And-Write either lost to a concurrent claim
+  /// or found part of the quorum down).
+  Duration election_retry_interval = sim::usec(50);
+
   /// The BS/BR drain their shared-memory descriptor FIFOs this long after
   /// the DEM strobe arrives; descriptors posted inside the window (e.g. by
   /// a process the NM just restarted at the slice boundary) are still

@@ -40,8 +40,10 @@ Runtime::Runtime(net::Cluster& cluster, BcsMpiConfig config)
   live_compute_nodes_ = all_compute_nodes_;
   evicted_.assign(static_cast<std::size_t>(cluster.numComputeNodes()), 0);
   phase_done_var_ = core_.allocVar("phase_done", 0);
+  epoch_var_ = core_.allocVar("control_epoch", 0);
   strobe_event_ = core_.allocEvent("microstrobe");
   coll_done_event_ = core_.allocEvent("collective-done");
+  strobe_node_ = cluster.managementNode();
 }
 
 // ---------------------------------------------------------------------------
@@ -83,6 +85,13 @@ void Runtime::registerProcess(int job, int rank, sim::Process& proc) {
   // Runtime bring-up: NIC thread forking, NIC memory setup, STORM
   // handshakes.  Charged once per process, like MPI_Init.
   proc.compute(config_.runtime_init_overhead);
+  // The Strobe Receiver on this rank's node starts its slice watchdog as
+  // part of bring-up: from here on, microstrobe silence is suspicious.
+  NodeState& ns = nodeState(rs.node);
+  ns.last_strobe = proc.now();
+  if (!ns.watchdog_armed) {
+    armWatchdogAt(rs.node, ns.last_strobe + watchdogTimeout());
+  }
   if (!strobing_) {
     strobing_ = true;
     slice_start_ = proc.now();
@@ -332,6 +341,17 @@ void Runtime::startSlice() {
     strobing_ = false;
     return;
   }
+  if (cluster_.faults()->nodeDown(strobe_node_, cluster_.engine().now())) {
+    // The Strobe Sender's node is down: this slice is never strobed.  The
+    // Strobe Receivers' slice watchdogs will notice the silence and elect a
+    // backup, which resumes the strobe on the period grid.
+    if (trace_) {
+      trace_->record(cluster_.engine().now(), sim::TraceCategory::kFailover,
+                     strobe_node_, "Strobe Sender down; slice not strobed");
+    }
+    strobing_ = false;
+    return;
+  }
   if (!pending_evictions_.empty()) {
     // Recovery slice: the microphases of the previous slice completed
     // without the dead node (it left the poll set the moment STORM declared
@@ -343,6 +363,7 @@ void Runtime::startSlice() {
       return;
     }
   }
+  if (!pending_rejoins_.empty()) performRejoins();
   if (!checkpoint_cbs_.empty()) {
     // Slice boundary: the previous slice's transfers are all complete, so
     // this snapshot is globally consistent without any message draining.
@@ -409,16 +430,25 @@ void Runtime::strobePhase(Phase p) {
   ++stats_.microstrobes;
   if (trace_) {
     trace_->record(cluster_.engine().now(), sim::TraceCategory::kStrobe,
-                   cluster_.managementNode(),
+                   strobe_node_,
                    std::string("microstrobe ") + phaseName(p) + " slice " +
                        std::to_string(slice_index_));
   }
   core::XferRequest strobe;
-  strobe.src_node = cluster_.managementNode();
+  strobe.src_node = strobe_node_;
   strobe.dest_nodes = live_compute_nodes_;
   strobe.bytes = 16;  // phase id + sequence number
   strobe.deliver = [this, p, seq](int node) { onStrobe(node, p, seq); };
   core_.xferAndSignal(std::move(strobe));
+  if (strobe_node_ < cluster_.numComputeNodes()) {
+    // A backup Strobe Sender is itself a compute node; the fabric excludes
+    // the multicast source from its own destination set, so its Strobe
+    // Receiver hears the strobe through NIC-local memory instead.
+    cluster_.engine().at(cluster_.engine().now(),
+                         [this, p, seq, self = strobe_node_] {
+                           onStrobe(self, p, seq);
+                         });
+  }
   pollPhaseDone(p, seq);
 }
 
@@ -431,17 +461,27 @@ void Runtime::pollPhaseDone(Phase p, std::uint64_t seq) {
   // while a phase is stuck immediately unblocks the next poll: the dead node
   // (whose phase_done can never advance) is simply no longer asked.
   core::CompareAndWriteRequest req;
-  req.src_node = cluster_.managementNode();
+  req.src_node = strobe_node_;
   req.nodes = live_compute_nodes_;
   req.var = phase_done_var_;
   req.op = core::CmpOp::kGE;
   req.value = static_cast<std::int64_t>(seq);
-  core_.compareAndWriteAsync(std::move(req), [this, p, seq](bool done) {
+  // Epoch fence: if a failover election promotes a new Strobe Sender while
+  // this round is in flight, the stale chain must not continue strobing in
+  // parallel with the new one.  (A *dead* old SS is already cut off by the
+  // fabric suppressing its conditional results; the fence also covers an
+  // old SS that is merely stalled.)
+  const std::uint64_t epoch = control_epoch_;
+  core_.compareAndWriteAsync(std::move(req), [this, p, seq, epoch](bool done) {
+    if (epoch != control_epoch_) return;
     if (done) {
       phaseComplete(p);
     } else {
       cluster_.engine().after(config_.strobe_poll_interval,
-                              [this, p, seq] { pollPhaseDone(p, seq); });
+                              [this, p, seq, epoch] {
+                                if (epoch != control_epoch_) return;
+                                pollPhaseDone(p, seq);
+                              });
     }
   });
 }
@@ -467,14 +507,19 @@ void Runtime::phaseComplete(Phase p) {
         (now - slice_start_) / config_.time_slice);
     next = slice_start_ + static_cast<SimTime>(k + 1) * config_.time_slice;
   }
-  cluster_.engine().at(next, [this] { startSlice(); });
+  const std::uint64_t epoch = control_epoch_;
+  cluster_.engine().at(next, [this, epoch] {
+    if (epoch != control_epoch_) return;
+    startSlice();
+  });
 }
 
 void Runtime::maybeStop() {
-  if (active_ranks_ > 0) return;
+  if (active_ranks_ > 0 || stop_requested_) return;
   // All ranks finished; queues must be empty (a rank only finishes after
   // its operations completed), so the strobe can stop.
   stop_requested_ = true;
+  stopWatchdogs();
 }
 
 // ---------------------------------------------------------------------------
@@ -511,6 +556,12 @@ void Runtime::beginNodePhase(int node, std::uint64_t seq, Duration floor,
 
 void Runtime::onStrobe(int node, Phase p, std::uint64_t seq) {
   if (nodeEvicted(node)) return;  // strobe raced an eviction
+  // Feed the slice watchdog: a strobe is proof of Strobe Sender life.
+  NodeState& ns = nodeState(node);
+  ns.last_strobe = cluster_.engine().now();
+  if (!ns.watchdog_armed) {
+    armWatchdogAt(node, ns.last_strobe + watchdogTimeout());
+  }
   switch (p) {
     case Phase::kDem: runDem(node, seq); return;
     case Phase::kMsm: runMsm(node, seq); return;
@@ -560,6 +611,7 @@ void Runtime::performRecovery() {
 
 void Runtime::evictNodeState(int node) {
   NodeState& dead_ns = nodeState(node);
+  if (dead_ns.watchdog_armed) cluster_.engine().cancel(dead_ns.watchdog);
 
   // 1. Requests of *live* ranks whose completion depended on the dead node's
   //    local queues.  (The counterpart descriptor lives on the dead node and
@@ -658,6 +710,227 @@ void Runtime::evictNodeState(int node) {
       }
       pc.active = false;
       pc.local.clear();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane failover: slice watchdogs, backup-SS election, rejoin
+// ---------------------------------------------------------------------------
+
+void Runtime::armWatchdogAt(int node, SimTime when) {
+  if (config_.watchdog_slices <= 0 || stop_requested_) return;
+  NodeState& ns = nodeState(node);
+  ns.watchdog_armed = true;
+  const SimTime at = std::max(when, cluster_.engine().now());
+  ns.watchdog = cluster_.engine().at(at, [this, node] { onWatchdog(node); });
+}
+
+void Runtime::onWatchdog(int node) {
+  NodeState& ns = nodeState(node);
+  ns.watchdog_armed = false;
+  if (stop_requested_ || config_.watchdog_slices <= 0 || nodeEvicted(node)) {
+    return;
+  }
+  const SimTime now = cluster_.engine().now();
+  if (cluster_.faults()->nodeDown(node, now)) {
+    // This SR's own node is down; a later strobe receipt (short hang) or
+    // rejoin re-arms the watchdog.
+    return;
+  }
+  const SimTime deadline = ns.last_strobe + watchdogTimeout();
+  if (now < deadline) {
+    // A strobe arrived since the timer was set — re-check at its deadline.
+    armWatchdogAt(node, deadline);
+    return;
+  }
+  if (node == strobe_node_) return;  // the Strobe Sender never suspects itself
+  ++stats_.watchdog_fires;
+  if (trace_) {
+    trace_->record(now, sim::TraceCategory::kFailover, node,
+                   "slice watchdog fired: no microstrobe for " +
+                       std::to_string(config_.watchdog_slices) + " slices");
+  }
+  if (live_compute_nodes_.empty()) return;
+  if (node != live_compute_nodes_.front()) {
+    // Not the election leader: keep watching.  The lowest-id live node runs
+    // the claim; everyone converges on the same leader deterministically.
+    armWatchdogAt(node, now + watchdogTimeout());
+    return;
+  }
+  beginElection(node);
+}
+
+void Runtime::stopWatchdogs() {
+  for (int n : all_compute_nodes_) {
+    NodeState& ns = nodeState(n);
+    if (!ns.watchdog_armed) continue;
+    cluster_.engine().cancel(ns.watchdog);
+    ns.watchdog_armed = false;
+  }
+}
+
+void Runtime::beginElection(int node) {
+  if (election_inflight_) {
+    armWatchdogAt(node, cluster_.engine().now() + watchdogTimeout());
+    return;
+  }
+  election_inflight_ = true;
+  if (trace_) {
+    trace_->record(cluster_.engine().now(), sim::TraceCategory::kFailover,
+                   node,
+                   "suspecting Strobe Sender death; claiming epoch " +
+                       std::to_string(control_epoch_ + 1));
+  }
+  // The claim: Compare-And-Write(epoch == current, write current+1) over the
+  // whole live set.  Atomic over the quorum, so concurrent claims serialize;
+  // it fails while any live-set replica is unreachable or already bumped.
+  core::CompareAndWriteRequest req;
+  req.src_node = node;
+  req.nodes = live_compute_nodes_;
+  req.var = epoch_var_;
+  req.op = core::CmpOp::kEQ;
+  req.value = static_cast<std::int64_t>(control_epoch_);
+  req.do_write = true;
+  req.write_var = epoch_var_;
+  req.write_value = static_cast<std::int64_t>(control_epoch_ + 1);
+  core_.compareAndWriteAsync(std::move(req), [this, node](bool claimed) {
+    if (!claimed) {
+      if (trace_) {
+        trace_->record(cluster_.engine().now(), sim::TraceCategory::kFailover,
+                       node, "epoch claim failed; retrying");
+      }
+      cluster_.engine().after(config_.election_retry_interval, [this, node] {
+        election_inflight_ = false;
+        // Re-enter through the watchdog: if strobes resumed meanwhile (the
+        // claim lost to a concurrent winner) this re-arms instead of
+        // re-electing.
+        onWatchdog(node);
+      });
+      return;
+    }
+    election_inflight_ = false;
+    ++control_epoch_;
+    ++stats_.elections;
+    const int old_ss = strobe_node_;
+    strobe_node_ = node;
+    strobing_ = true;
+    if (trace_) {
+      trace_->record(cluster_.engine().now(), sim::TraceCategory::kFailover,
+                     node,
+                     "elected backup Strobe Sender (was n" +
+                         std::to_string(old_ss) + "), epoch " +
+                         std::to_string(control_epoch_) +
+                         "; recovering phase seq " +
+                         std::to_string(phase_seq_));
+    }
+    if (failover_handler_) failover_handler_(node, control_epoch_);
+    recoverPhase();
+  });
+}
+
+void Runtime::recoverPhase() {
+  // Before strobing anew, the backup must know the interrupted microphase
+  // has quiesced — every live node's in-flight NIC work for the last strobed
+  // seq completed — or the per-node outstanding counters would be clobbered.
+  // The phase/slice sequence number itself is already known to every SR
+  // (each microstrobe carries it); the Compare-And-Write below recovers the
+  // *global* completion state for it.  Nodes that can never complete (they
+  // died with the old SS) leave via heartbeat eviction, which the failed-
+  // over Machine Manager keeps running, so this poll cannot hang forever.
+  if (stop_requested_ || live_compute_nodes_.empty()) {
+    strobing_ = false;
+    return;
+  }
+  core::CompareAndWriteRequest req;
+  req.src_node = strobe_node_;
+  req.nodes = live_compute_nodes_;
+  req.var = phase_done_var_;
+  req.op = core::CmpOp::kGE;
+  req.value = static_cast<std::int64_t>(phase_seq_);
+  const std::uint64_t epoch = control_epoch_;
+  core_.compareAndWriteAsync(std::move(req), [this, epoch](bool done) {
+    if (epoch != control_epoch_) return;
+    if (done) {
+      resumeStrobe();
+    } else {
+      cluster_.engine().after(config_.strobe_poll_interval, [this, epoch] {
+        if (epoch != control_epoch_) return;
+        recoverPhase();
+      });
+    }
+  });
+}
+
+void Runtime::resumeStrobe() {
+  const SimTime now = cluster_.engine().now();
+  SimTime next = slice_start_ + config_.time_slice;
+  if (next <= now) {
+    const std::uint64_t k = static_cast<std::uint64_t>(
+        (now - slice_start_) / config_.time_slice);
+    next = slice_start_ + static_cast<SimTime>(k + 1) * config_.time_slice;
+  }
+  if (trace_) {
+    trace_->record(now, sim::TraceCategory::kFailover, strobe_node_,
+                   "phase quiesced; strobing resumes at " +
+                       sim::formatTime(next));
+  }
+  const std::uint64_t epoch = control_epoch_;
+  cluster_.engine().at(next, [this, epoch] {
+    if (epoch != control_epoch_) return;
+    startSlice();
+  });
+}
+
+void Runtime::notifyNodeRejoin(int node) {
+  if (node < 0 || node >= cluster_.numComputeNodes() || !nodeEvicted(node)) {
+    return;
+  }
+  for (int p : pending_rejoins_) {
+    if (p == node) return;
+  }
+  pending_rejoins_.push_back(node);
+  if (trace_) {
+    trace_->record(cluster_.engine().now(), sim::TraceCategory::kFailover,
+                   node, "rejoin announced; reintegration at slice boundary");
+  }
+  // With the strobe stopped (job already over, or SS dead pending election)
+  // there is no upcoming boundary to wait for — reintegrate immediately so
+  // the node is part of whatever happens next.
+  if (!strobing_) performRejoins();
+}
+
+void Runtime::performRejoins() {
+  std::vector<int> back;
+  back.swap(pending_rejoins_);
+  const SimTime now = cluster_.engine().now();
+  for (int node : back) {
+    if (!nodeEvicted(node)) continue;
+    evicted_[static_cast<std::size_t>(node)] = 0;
+    // The node returns scrubbed: NIC queues rebuilt from scratch (its ranks
+    // were force-finished at eviction and stay finished).
+    nodeState(node) = NodeState{};
+    live_compute_nodes_.insert(
+        std::lower_bound(live_compute_nodes_.begin(),
+                         live_compute_nodes_.end(), node),
+        node);
+    // Bring the replicated control state up to date so the node is a sound
+    // quorum member for future elections and phase polls.
+    core_.writeVarLocal(node, epoch_var_,
+                        static_cast<std::int64_t>(control_epoch_));
+    core_.writeVarLocal(node, phase_done_var_,
+                        static_cast<std::int64_t>(phase_seq_));
+    ++stats_.rejoins;
+    if (trace_) {
+      trace_->record(now, sim::TraceCategory::kFailover, node,
+                     "rejoined at slice " + std::to_string(slice_index_) +
+                         " (epoch " + std::to_string(control_epoch_) +
+                         "): queues rebuilt");
+    }
+    NodeState& ns = nodeState(node);
+    ns.last_strobe = now;
+    if (!ns.watchdog_armed) {
+      armWatchdogAt(node, ns.last_strobe + watchdogTimeout());
     }
   }
 }

@@ -107,6 +107,10 @@ struct RuntimeStats {
   std::uint64_t requests_failed = 0;  ///< requests completed in error
   std::uint64_t evictions = 0;        ///< nodes declared dead and excluded
   std::uint64_t recovery_slices = 0;  ///< slices that opened with a recovery
+  // Control-plane failover (see DESIGN.md §4c, "Control-plane failures"):
+  std::uint64_t watchdog_fires = 0;   ///< slice watchdogs that expired
+  std::uint64_t elections = 0;        ///< successful backup-SS promotions
+  std::uint64_t rejoins = 0;          ///< evicted nodes reintegrated
 };
 
 class Runtime {
@@ -193,6 +197,32 @@ class Runtime {
   const std::vector<CheckpointRecord>& recoveryCheckpoints() const {
     return recovery_records_;
   }
+
+  // ---- Control-plane failover ----
+
+  /// Node currently acting as Strobe Sender.  Initially the management
+  /// node; a successful failover election moves it to a compute node.
+  int strobeNode() const { return strobe_node_; }
+
+  /// Generation counter of the Strobe Sender role, bumped by every
+  /// successful election.  Replicated across live nodes in a global
+  /// variable, which is what election claims Compare-And-Write against.
+  std::uint64_t controlEpoch() const { return control_epoch_; }
+
+  /// Invoked after a successful failover election with (new strobe node,
+  /// new epoch).  Wire it to Storm::failoverTo so STORM's Machine Manager
+  /// role (heartbeats, death declaration) moves with the Strobe Sender.
+  void setFailoverHandler(std::function<void(int, std::uint64_t)> handler) {
+    failover_handler_ = std::move(handler);
+  }
+
+  /// Announces that an evicted node is back (typically wired to STORM's
+  /// rejoin handler, which fires when a hung node resumes acknowledging
+  /// heartbeats).  The node is scrubbed and reintegrated at the next slice
+  /// boundary: fresh queues, epoch replica brought up to date, watchdog
+  /// re-armed.  Ranks that were force-finished at eviction stay finished —
+  /// the node returns empty, available to the strobe set and new work.
+  void notifyNodeRejoin(int node);
 
  private:
   struct ReqInfo {
@@ -305,6 +335,10 @@ class Runtime {
     // Microphase completion tracking
     std::uint64_t phase_seq = 0;
     int outstanding = 0;
+    // Slice watchdog (Strobe Receiver side of control-plane failover).
+    SimTime last_strobe = 0;
+    sim::EventId watchdog{};
+    bool watchdog_armed = false;
   };
 
   // ---- Strobe Sender (management node) ----
@@ -359,6 +393,18 @@ class Runtime {
   void performRecovery();
   void evictNodeState(int node);
 
+  // Control-plane failover (runtime.cpp)
+  Duration watchdogTimeout() const {
+    return static_cast<Duration>(config_.watchdog_slices) * config_.time_slice;
+  }
+  void armWatchdogAt(int node, SimTime when);
+  void onWatchdog(int node);
+  void stopWatchdogs();
+  void beginElection(int node);
+  void recoverPhase();
+  void resumeStrobe();
+  void performRejoins();
+
   RankState& rankState(int job, int rank);
   JobState& jobState(int job);
   NodeState& nodeState(int node);
@@ -377,9 +423,19 @@ class Runtime {
   std::vector<CheckpointRecord> recovery_records_;
 
   core::GlobalVarId phase_done_var_ = -1;
+  /// Replicated Strobe-Sender epoch: every live node holds a copy; a backup
+  /// claims the role by Compare-And-Write(== epoch, write epoch+1) over the
+  /// live set, which serializes concurrent claims.
+  core::GlobalVarId epoch_var_ = -1;
   core::GlobalEventId strobe_event_ = -1;
   /// Local completion event used by CH/RH multicasts (one signal per op).
   core::GlobalEventId coll_done_event_ = -1;
+
+  int strobe_node_ = -1;
+  std::uint64_t control_epoch_ = 0;
+  bool election_inflight_ = false;
+  std::vector<int> pending_rejoins_;  ///< reintegrated at next slice boundary
+  std::function<void(int, std::uint64_t)> failover_handler_;
 
   bool strobing_ = false;
   bool stop_requested_ = false;

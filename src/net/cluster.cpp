@@ -11,12 +11,19 @@ Cluster::Cluster(ClusterConfig config)
   }
   fabric_ = std::make_unique<Fabric>(engine_, config_.network, totalNodes(),
                                      &trace_);
+  // The injector always exists (so run-time actors like Storm::killNode can
+  // register faults through it even on fault-free configs); an empty plan
+  // draws no randomness and changes no timing.  Stream 13 is reserved for
+  // fault decisions so adding faults never perturbs the workload/noise
+  // randomness of an otherwise identical run.
+  sim::FaultPlan plan = config_.faults;
+  for (sim::FaultPlan::NodeFault& f : plan.node_faults) {
+    if (f.node == sim::FaultPlan::kManagementNode) f.node = managementNode();
+  }
+  fault_ = std::make_unique<sim::FaultInjector>(std::move(plan),
+                                                sim::deriveSeed(config_.seed, 13));
+  fabric_->setFaultInjector(fault_.get());
   if (!config_.faults.empty()) {
-    // Stream 13 is reserved for fault decisions so adding faults never
-    // perturbs the workload/noise randomness of an otherwise identical run.
-    fault_ = std::make_unique<sim::FaultInjector>(
-        config_.faults, sim::deriveSeed(config_.seed, 13));
-    fabric_->setFaultInjector(fault_.get());
     trace_.record(0, sim::TraceCategory::kFault, -1,
                   "fault plan: " + config_.faults.describe());
   }

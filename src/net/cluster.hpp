@@ -59,7 +59,9 @@ class Cluster {
   sim::CpuScheduler& cpu(int node) { return *cpus_.at(static_cast<std::size_t>(node)); }
   sim::Rng& rng() { return rng_; }
 
-  /// Present iff the config declared a non-empty FaultPlan.
+  /// The machine's fault injector — always present (an empty plan draws
+  /// nothing).  `kManagementNode` sentinels in the config's plan have been
+  /// resolved to the real management-node index.
   sim::FaultInjector* faults() { return fault_.get(); }
 
   /// Creates a process on `node` and schedules its first run at `when`.

@@ -302,9 +302,21 @@ void Fabric::conditional(int src, std::vector<int> nodes,
   ++stats_.conditionals;
 
   const Duration lat = conditionalLatency(static_cast<int>(nodes.size()));
-  engine_.after(lat, [this, nodes = std::move(nodes), eval = std::move(eval),
-                      write = std::move(write),
+  engine_.after(lat, [this, src, nodes = std::move(nodes),
+                      eval = std::move(eval), write = std::move(write),
                       on_result = std::move(on_result)] {
+    // A round whose issuing NIC died before the combine returns delivers its
+    // result to no one: the poll chain of a dead Strobe Sender ends here
+    // instead of keeping a ghost SS alive.  (Down *participants* merely
+    // evaluate false, below — the issuer is special.)
+    if (fault_ && fault_->nodeDown(src, engine_.now())) {
+      ++stats_.suppressed_conditionals;
+      if (trace_) {
+        trace_->record(engine_.now(), sim::TraceCategory::kFault, src,
+                       "conditional result suppressed: issuer down");
+      }
+      return;
+    }
     bool all = true;
     for (int n : nodes) {
       // A down node never answers the query broadcast, so the combine

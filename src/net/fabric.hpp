@@ -58,6 +58,7 @@ struct FabricStats {
   std::uint64_t drops = 0;         ///< droppable unicasts lost at random
   std::uint64_t failed_sends = 0;  ///< unicasts to/from a down endpoint
   std::uint64_t suppressed_deliveries = 0;  ///< multicast legs to down nodes
+  std::uint64_t suppressed_conditionals = 0;  ///< rounds whose issuer died
 };
 
 /// Per-send options for unicast.  Default-constructed == the historical

@@ -19,11 +19,13 @@ std::string FaultPlan::describe() const {
            formatTime(degrade_latency));
   }
   for (const NodeFault& f : node_faults) {
+    const std::string who =
+        f.node == kManagementNode ? "mgmt" : "n" + std::to_string(f.node);
     if (f.hang == 0) {
-      append("crash n" + std::to_string(f.node) + " at " + formatTime(f.at));
+      append("crash " + who + " at " + formatTime(f.at));
     } else {
-      append("hang n" + std::to_string(f.node) + " at " + formatTime(f.at) +
-             " for " + formatTime(f.hang));
+      append("hang " + who + " at " + formatTime(f.at) + " for " +
+             formatTime(f.hang));
     }
   }
   return out;
@@ -44,6 +46,11 @@ Duration FaultInjector::degradeExtra() {
   if (rng_.uniform() >= plan_.degrade_rate) return 0;
   ++stats_.degrades;
   return plan_.degrade_latency;
+}
+
+void FaultInjector::forceDown(int node, SimTime at) {
+  plan_.node_faults.push_back(FaultPlan::NodeFault{node, at, 0});
+  ++stats_.forced_down;
 }
 
 bool FaultInjector::nodeDown(int node, SimTime now) const {

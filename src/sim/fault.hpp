@@ -53,6 +53,11 @@ struct FaultPlan {
   };
   std::vector<NodeFault> node_faults;
 
+  /// Sentinel for "the management node" in NodeFault::node.  Plans are built
+  /// before the machine size is known, so the Cluster resolves this to its
+  /// actual management-node index at construction.
+  static constexpr int kManagementNode = -2;
+
   FaultPlan& dropRate(double rate) {
     drop_rate = rate;
     return *this;
@@ -70,6 +75,14 @@ struct FaultPlan {
     node_faults.push_back(NodeFault{node, at, duration});
     return *this;
   }
+  /// Crashes the management node — the Strobe Sender and STORM Machine
+  /// Manager — exercising the control-plane failover protocol.
+  FaultPlan& crashManagementNode(SimTime at) {
+    return crashNode(kManagementNode, at);
+  }
+  FaultPlan& hangManagementNode(SimTime at, Duration duration) {
+    return hangNode(kManagementNode, at, duration);
+  }
 
   bool empty() const {
     return drop_rate <= 0 && degrade_rate <= 0 && node_faults.empty();
@@ -81,8 +94,9 @@ struct FaultPlan {
 
 /// Aggregate injector decisions, for tests and reports.
 struct FaultStats {
-  std::uint64_t drops = 0;     ///< droppable packets lost
-  std::uint64_t degrades = 0;  ///< packets given extra latency
+  std::uint64_t drops = 0;       ///< droppable packets lost
+  std::uint64_t degrades = 0;    ///< packets given extra latency
+  std::uint64_t forced_down = 0; ///< nodes downed at run time (forceDown)
 };
 
 /// Turns a FaultPlan into deterministic per-packet decisions.  One instance
@@ -101,6 +115,13 @@ class FaultInjector {
   /// True iff `node` is crashed or inside a hang window at `now`.  A pure
   /// function of the plan and the clock — no state, no draws.
   bool nodeDown(int node, SimTime now) const;
+
+  /// Registers a permanent node-down fault at run time.  This is how actors
+  /// that *cause* failures (e.g. Storm::killNode) publish them: the injector
+  /// is the single source of truth for endpoint liveness, and the fabric's
+  /// suppression produces every downstream symptom (missed heartbeats,
+  /// failed sends).  Consumes no randomness.
+  void forceDown(int node, SimTime at);
 
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }

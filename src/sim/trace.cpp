@@ -17,6 +17,7 @@ const char* traceCategoryName(TraceCategory c) {
     case TraceCategory::kCollective: return "COLL";
     case TraceCategory::kStorm: return "STORM";
     case TraceCategory::kFault: return "FAULT";
+    case TraceCategory::kFailover: return "FAILOVER";
     case TraceCategory::kApp: return "APP";
   }
   return "?";

@@ -28,6 +28,7 @@ enum class TraceCategory : std::uint8_t {
   kCollective,  // CH/RH activity
   kStorm,       // MM/NM resource-management traffic
   kFault,       // injected faults, retransmissions, evictions, recovery
+  kFailover,    // control-plane failover: watchdogs, elections, rejoins
   kApp,
 };
 

@@ -12,6 +12,7 @@ Storm::Storm(net::Cluster& cluster, StormConfig config)
       node_info_(static_cast<std::size_t>(cluster.numComputeNodes())) {
   launch_var_ = core_.allocVar("storm_launch", 0);
   hb_var_ = core_.allocVar("storm_heartbeat", 0);
+  mm_node_ = cluster.managementNode();
 }
 
 // ---------------------------------------------------------------------------
@@ -77,7 +78,7 @@ int Storm::usedSlots(int node) const {
 void Storm::launchImage(const std::vector<int>& nodes,
                         std::size_t binary_bytes, int procs_per_node,
                         std::function<void(SimTime)> on_launched) {
-  const int mgmt = cluster_.managementNode();
+  const int mgmt = mm_node_;
   const std::int64_t seq = ++launch_seq_;
   const SimTime t0 = cluster_.engine().now();
 
@@ -143,7 +144,15 @@ void Storm::stopHeartbeats() { heartbeats_on_ = false; }
 
 void Storm::heartbeatRound() {
   if (!heartbeats_on_) return;
-  const int mgmt = cluster_.managementNode();
+  const int mm = mm_node_;
+  if (cluster_.faults()->nodeDown(mm, cluster_.engine().now())) {
+    // The MM host is down: it sends and inspects nothing this round.  The
+    // cadence timer stays armed so a failed-over MM picks the chain back up
+    // on the next period.
+    cluster_.engine().after(config_.heartbeat_period,
+                            [this] { heartbeatRound(); });
+    return;
+  }
   const std::int64_t seq = ++hb_seq_;
   ++hb_sent_;
 
@@ -151,23 +160,43 @@ void Storm::heartbeatRound() {
   for (int n = 0; n < cluster_.numComputeNodes(); ++n) nodes.push_back(n);
 
   core::XferRequest beat;
-  beat.src_node = mgmt;
+  beat.src_node = mm;
   beat.dest_nodes = nodes;
   beat.bytes = 16;
+  // The NM acknowledges on delivery; whether a node receives at all is the
+  // fabric's call (down nodes have their multicast legs suppressed), so the
+  // injector is the only liveness authority.
   beat.deliver = [this, seq](int node) {
-    NodeInfo& info = node_info_[static_cast<std::size_t>(node)];
-    if (info.responsive) {
-      core_.writeVarLocal(node, hb_var_, seq);  // NM acknowledges
-    }
+    core_.writeVarLocal(node, hb_var_, seq);
   };
   core_.xferAndSignal(std::move(beat));
+  if (mm < cluster_.numComputeNodes()) {
+    // A failed-over MM is itself a compute node; the fabric excludes the
+    // multicast source, so its NM acknowledges through NIC-local memory.
+    core_.writeVarLocal(mm, hb_var_, seq);
+  }
 
   // Half a period later, the MM inspects each node's acknowledgement.
   cluster_.engine().after(config_.heartbeat_period / 2, [this, seq] {
+    if (cluster_.faults()->nodeDown(mm_node_, cluster_.engine().now())) {
+      return;  // the MM died between strobe and inspection
+    }
     for (int n = 0; n < cluster_.numComputeNodes(); ++n) {
       NodeInfo& info = node_info_[static_cast<std::size_t>(n)];
       if (core_.readVar(n, hb_var_) >= seq) {
-        info.missed = 0;
+        if (info.marked_dead) {
+          // A node declared dead is acknowledging again: a hang window
+          // ended.  Clear the MM's books and announce the rejoin.
+          info.marked_dead = false;
+          info.missed = 0;
+          cluster_.trace().record(cluster_.engine().now(),
+                                  sim::TraceCategory::kFailover, n,
+                                  "rejoined: heartbeat acknowledged after "
+                                  "death declaration");
+          if (rejoin_handler_) rejoin_handler_(n);
+        } else {
+          info.missed = 0;
+        }
       } else if (!info.marked_dead) {
         if (++info.missed >= config_.max_missed_heartbeats) {
           info.marked_dead = true;
@@ -190,7 +219,18 @@ bool Storm::nodeAlive(int node) const {
 }
 
 void Storm::killNode(int node) {
-  node_info_.at(static_cast<std::size_t>(node)).responsive = false;
+  (void)node_info_.at(static_cast<std::size_t>(node));  // range check
+  cluster_.faults()->forceDown(node, cluster_.engine().now());
+}
+
+void Storm::failoverTo(int node) {
+  if (node == mm_node_) return;
+  const int old_mm = mm_node_;
+  mm_node_ = node;
+  cluster_.trace().record(cluster_.engine().now(),
+                          sim::TraceCategory::kFailover, node,
+                          "Machine Manager failed over (was n" +
+                              std::to_string(old_mm) + ")");
 }
 
 std::vector<int> Storm::deadNodes() const {

@@ -79,7 +79,9 @@ class Storm {
   void stopHeartbeats();
   std::uint64_t heartbeatsSent() const { return hb_sent_; }
   bool nodeAlive(int node) const;
-  /// Fault injection: the node stops acknowledging heartbeats.
+  /// Fault injection: downs the node's NIC via the cluster's FaultInjector
+  /// — the single source of truth for endpoint liveness — so it stops
+  /// acknowledging heartbeats (and sending anything else).
   void killNode(int node);
   /// Nodes currently considered dead by the MM.
   std::vector<int> deadNodes() const;
@@ -91,6 +93,23 @@ class Storm {
     death_handler_ = std::move(handler);
   }
 
+  /// Invoked once per node when a node previously declared dead resumes
+  /// acknowledging heartbeats (a hang shorter than forever).  Mirror of
+  /// setDeathHandler: wire it to Runtime::notifyNodeRejoin so the node is
+  /// scrubbed and reintegrated at a slice boundary.
+  void setRejoinHandler(std::function<void(int)> handler) {
+    rejoin_handler_ = std::move(handler);
+  }
+
+  /// Node currently hosting the Machine Manager role (heartbeat source,
+  /// death/rejoin declaration).  Initially the management node.
+  int machineManagerNode() const { return mm_node_; }
+
+  /// Moves the MM role to `node` — wired to Runtime::setFailoverHandler so
+  /// STORM fails over together with the Strobe Sender.  The heartbeat chain
+  /// keeps its cadence; rounds simply originate from the new host.
+  void failoverTo(int node);
+
  private:
   void heartbeatRound();
 
@@ -100,8 +119,7 @@ class Storm {
 
   struct NodeInfo {
     int used_slots = 0;
-    bool responsive = true;  ///< fault injection flag (ground truth)
-    int missed = 0;          ///< MM's view: consecutive missed heartbeats
+    int missed = 0;  ///< MM's view: consecutive missed heartbeats
     bool marked_dead = false;
   };
   std::vector<NodeInfo> node_info_;
@@ -112,7 +130,9 @@ class Storm {
   std::int64_t hb_seq_ = 0;
   bool heartbeats_on_ = false;
   std::uint64_t hb_sent_ = 0;
+  int mm_node_ = -1;
   std::function<void(int)> death_handler_;
+  std::function<void(int)> rejoin_handler_;
 };
 
 }  // namespace bcs::storm

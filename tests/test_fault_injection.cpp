@@ -64,6 +64,33 @@ TEST(FaultInjector, NodeDownWindows) {
   EXPECT_FALSE(inj.nodeDown(0, msec(100)));
 }
 
+TEST(FaultInjector, ManagementNodeSentinelResolvesAtClusterBuild) {
+  // FaultPlan is written before the cluster exists, so it names the
+  // management node symbolically; Cluster resolves the sentinel to the real
+  // node id when it constructs its injector.
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = 4;
+  ccfg.faults.crashManagementNode(msec(5));
+  EXPECT_NE(ccfg.faults.describe().find("mgmt"), std::string::npos);
+  net::Cluster cluster(ccfg);
+  const int mgmt = cluster.managementNode();
+  EXPECT_FALSE(cluster.faults()->nodeDown(mgmt, msec(5) - 1));
+  EXPECT_TRUE(cluster.faults()->nodeDown(mgmt, msec(5)));
+  EXPECT_TRUE(cluster.faults()->nodeDown(mgmt, msec(500)));
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_FALSE(cluster.faults()->nodeDown(n, msec(500))) << "node " << n;
+  }
+
+  net::ClusterConfig hcfg;
+  hcfg.num_compute_nodes = 4;
+  hcfg.faults.hangManagementNode(msec(10), msec(5));
+  net::Cluster hung(hcfg);
+  const int hmgmt = hung.managementNode();
+  EXPECT_FALSE(hung.faults()->nodeDown(hmgmt, msec(10) - 1));
+  EXPECT_TRUE(hung.faults()->nodeDown(hmgmt, msec(12)));
+  EXPECT_FALSE(hung.faults()->nodeDown(hmgmt, msec(15)));  // window over
+}
+
 TEST(FaultInjector, ZeroRateDrawsNothing) {
   sim::FaultPlan plan;  // empty
   sim::FaultInjector inj(plan, 7);

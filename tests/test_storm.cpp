@@ -158,6 +158,58 @@ TEST(Storm, NoisySlowClusterProducesNoFalsePositives) {
   EXPECT_GE(storm.heartbeatsSent(), 25u);
 }
 
+TEST(Storm, KillNodeRegistersWithTheFaultInjector) {
+  // killNode is sugar over FaultInjector::forceDown — the injector is the
+  // single source of truth for endpoint liveness, so there is no separate
+  // "Storm thinks it's dead" state to fall out of sync.
+  net::Cluster cluster(cfgNodes(4));
+  storm::StormConfig scfg;
+  storm::Storm storm(cluster, scfg);
+  EXPECT_EQ(cluster.faults()->stats().forced_down, 0u);
+  storm.killNode(2);
+  EXPECT_TRUE(cluster.faults()->nodeDown(2, cluster.engine().now()));
+  EXPECT_TRUE(cluster.faults()->nodeDown(2, msec(500)));  // permanent
+  EXPECT_FALSE(cluster.faults()->nodeDown(1, msec(500)));
+  EXPECT_EQ(cluster.faults()->stats().forced_down, 1u);
+  // The MM has not *declared* anything yet — that still takes heartbeats.
+  EXPECT_TRUE(storm.nodeAlive(2));
+}
+
+TEST(Storm, HangPastThresholdIsDeclaredDeadThenRejoins) {
+  // A hang longer than the death threshold: the node is declared dead, and
+  // when its heartbeats resume the MM clears its books and fires the rejoin
+  // hook exactly once.
+  net::ClusterConfig ccfg = cfgNodes(8);
+  ccfg.faults.hangNode(5, msec(20), msec(60));  // down [20 ms, 80 ms)
+  net::Cluster cluster(ccfg);
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = msec(10);
+  scfg.max_missed_heartbeats = 3;
+  storm::Storm storm(cluster, scfg);
+  int deaths = 0, rejoins = 0;
+  sim::SimTime rejoined_at = -1;
+  storm.setDeathHandler([&](int node) {
+    EXPECT_EQ(node, 5);
+    ++deaths;
+  });
+  storm.setRejoinHandler([&](int node) {
+    EXPECT_EQ(node, 5);
+    ++rejoins;
+    rejoined_at = cluster.engine().now();
+  });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(200), [&] { storm.stopHeartbeats(); });
+  cluster.run();
+  EXPECT_EQ(deaths, 1);
+  EXPECT_EQ(rejoins, 1);
+  EXPECT_TRUE(storm.nodeAlive(5));
+  EXPECT_TRUE(storm.deadNodes().empty());
+  // The rejoin lands with the first inspected beat after the hang window.
+  ASSERT_GT(rejoined_at, 0);
+  EXPECT_GT(rejoined_at, msec(80));
+  EXPECT_LE(rejoined_at, msec(80) + 2 * scfg.heartbeat_period);
+}
+
 TEST(Storm, DeadNodesAreSkippedByAllocation) {
   net::Cluster cluster(cfgNodes(4));
   storm::StormConfig scfg;
