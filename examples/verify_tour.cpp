@@ -1,0 +1,91 @@
+// bcs-verify in action: the protocol verifier (src/verify) watching two
+// deliberately broken programs.
+//
+// BCS-MPI's global scheduling gives the runtime a synchronized, whole-
+// machine view of every posted descriptor at each time slice — which makes
+// PARCOACH-style correctness checking nearly free.  With
+// BcsMpiConfig::verify on, the runtime color-checks every collective at the
+// slice boundary, audits every MSM match, and walks all protocol state at
+// finalize.  The two demos here:
+//
+//   1. A rank-divergent collective: rank 0 reduces with kSum while the
+//      other ranks use kMax.  Per-node state never sees the conflict (one
+//      rank per node); the verifier's color reduction names the offender,
+//      its call site and the operation signature.
+//   2. A count-mismatched receive: the receiver posts a 256B buffer for a
+//      4KiB message.  The runtime still refuses the match (historical
+//      behavior), but the verifier records the diagnosis — who sent how
+//      much, who posted how little — before the run unwinds.
+//
+// Both runs print the structured VerifyReport; a clean run would print
+// nothing and trace byte-identically to a verify-off run (the verifier is a
+// pure observer).
+//
+//   $ ./examples/verify_tour
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "verify/verify.hpp"
+
+using namespace bcs;
+
+namespace {
+
+/// Runs `body` as a P-rank job (one rank per node) under a verify-enabled
+/// runtime; bounded so deadlocking demos still finish.  Prints the report.
+void demo(const char* title, int P,
+          const std::function<void(mpi::Comm&)>& body) {
+  std::printf("==== %s ====\n", title);
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = P;
+  net::Cluster cluster(machine);
+
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(200);
+  cfg.verify = true;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  bcsmpi::launchJob(*runtime, map, body);
+
+  try {
+    cluster.run(sim::msec(100));
+  } catch (const sim::SimError& e) {
+    std::printf("runtime refused to continue: %s\n", e.what());
+  }
+  // For a run that stopped cleanly the audit has already happened; after a
+  // bounded or unwound run this triggers the finalize walk.
+  if (const verify::VerifyReport* rep = runtime->verifyAudit()) {
+    std::printf("%s\n", rep->render().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  demo("rank-divergent collective (kSum vs kMax)", 4, [](mpi::Comm& comm) {
+    const auto op =
+        comm.rank() == 0 ? mpi::ReduceOp::kSum : mpi::ReduceOp::kMax;
+    comm.allreduceOne(1.0, op);
+  });
+
+  demo("count-mismatched receive (256B buffer, 4KiB message)", 2,
+       [](mpi::Comm& comm) {
+         std::vector<std::uint8_t> buf(4096);
+         if (comm.rank() == 0) {
+           auto r = comm.isend(buf.data(), buf.size(), 1, 0);
+           comm.wait(r);
+         } else {
+           auto r = comm.irecv(buf.data(), 256, 0, 0);
+           comm.wait(r);
+         }
+       });
+  return 0;
+}

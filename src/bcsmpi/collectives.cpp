@@ -65,7 +65,7 @@ void Runtime::executeBroadcast(int node, int job) {
   }
 
   opStarted(node);
-  const std::size_t payload_bytes =
+  std::size_t payload_bytes =
       pc.type == CollectiveType::kBcast
           ? pc.count * mpi::datatypeSize(pc.dt)
           : 0;
@@ -74,7 +74,14 @@ void Runtime::executeBroadcast(int node, int job) {
   if (payload_bytes > 0) {
     const std::byte* src = nullptr;
     for (const CollectiveDescriptor& d : pc.local) {
-      if (d.rank == pc.root) src = d.contrib;
+      if (d.rank == pc.root) {
+        src = d.contrib;
+        // A count-divergent job (diagnosable with BcsMpiConfig::verify) may
+        // give the root a smaller buffer than pc.count suggests; never read
+        // past what the root actually posted.
+        payload_bytes =
+            std::min(payload_bytes, d.count * mpi::datatypeSize(pc.dt));
+      }
     }
     if (src == nullptr) {
       throw sim::SimError("bcast: root rank descriptor missing on owner");
@@ -168,13 +175,18 @@ void Runtime::executeReduce(int node, int job) {
   pc.local_ready = false;
 
   // RH combines the local ranks' contributions first (softfloat, per
-  // element).
-  const std::size_t bytes = pc.count * mpi::datatypeSize(pc.dt);
+  // element).  Counts are clamped per descriptor: a count-divergent job
+  // (diagnosable with BcsMpiConfig::verify) must stay a protocol error, not
+  // a read past a rank's contribution buffer.
+  const std::size_t bytes =
+      std::min(pc.count, pc.local.front().count) * mpi::datatypeSize(pc.dt);
   pc.partial.assign(pc.local.front().contrib,
                     pc.local.front().contrib + bytes);
+  pc.partial.resize(pc.count * mpi::datatypeSize(pc.dt));
   for (std::size_t i = 1; i < pc.local.size(); ++i) {
     mpi::applyReduce(pc.op, pc.dt, pc.partial.data(), pc.local[i].contrib,
-                     pc.count, mpi::ReduceFlavor::kNicSoftFloat);
+                     std::min(pc.count, pc.local[i].count),
+                     mpi::ReduceFlavor::kNicSoftFloat);
   }
   opStarted(node);
   const Duration combine_cost =
@@ -204,8 +216,12 @@ void Runtime::reduceIncoming(int node, int job, Payload data) {
 
 void Runtime::reduceApply(int node, int job, Payload data) {
   PendingCollective& pc = nodeState(node).pending_coll[job];
-  mpi::applyReduce(pc.op, pc.dt, pc.partial.data(), data->data(), pc.count,
-                   mpi::ReduceFlavor::kNicSoftFloat);
+  // A child of a count-divergent job can send a partial smaller than this
+  // node's count; clamp so the disagreement stays a diagnosable protocol
+  // error (BcsMpiConfig::verify) instead of an out-of-bounds read.
+  const std::size_t have = data->size() / mpi::datatypeSize(pc.dt);
+  mpi::applyReduce(pc.op, pc.dt, pc.partial.data(), data->data(),
+                   std::min(pc.count, have), mpi::ReduceFlavor::kNicSoftFloat);
   --pc.children_left;
 }
 
@@ -293,26 +309,32 @@ void Runtime::finishCollectiveOnNode(int node, int job, Payload payload) {
   PendingCollective& pc = nodeState(node).pending_coll[job];
   if (!pc.active) return;
   const std::size_t bytes =
-      payload ? pc.count * mpi::datatypeSize(pc.dt) : 0;
+      payload ? std::min(pc.count * mpi::datatypeSize(pc.dt), payload->size())
+              : 0;
   for (const CollectiveDescriptor& d : pc.local) {
+    // The copy is clamped to the rank's own posted count: a count-divergent
+    // job (diagnosable with BcsMpiConfig::verify) must never write past a
+    // rank's result buffer.
+    const std::size_t want =
+        std::min(bytes, d.count * mpi::datatypeSize(pc.dt));
     switch (pc.type) {
       case CollectiveType::kBarrier:
         break;
       case CollectiveType::kBcast:
         if (d.rank != pc.root && payload) {
-          std::memcpy(d.result, payload->data(), bytes);
+          std::memcpy(d.result, payload->data(), want);
         }
         break;
       case CollectiveType::kReduce:
         if (d.rank == pc.root && payload) {
-          std::memcpy(d.result, payload->data(), bytes);
+          std::memcpy(d.result, payload->data(), want);
         }
         break;
       case CollectiveType::kAllreduce:
-        if (payload) std::memcpy(d.result, payload->data(), bytes);
+        if (payload) std::memcpy(d.result, payload->data(), want);
         break;
     }
-    completeRequest(job, d.rank, d.request, pc.root, /*tag=*/-3, bytes);
+    completeRequest(job, d.rank, d.request, pc.root, /*tag=*/-3, want);
   }
   pc.active = false;
   pc.executing = false;

@@ -84,6 +84,17 @@ struct BcsMpiConfig {
   /// Round-robin gang scheduling of multiple jobs at slice granularity
   /// (§5.4, first mitigation option).
   bool gang_scheduling = false;
+
+  /// Attach the dynamic protocol verifier (src/verify): collective-color
+  /// divergence, truncated receives, wildcard-receive races, and a finalize
+  /// audit of leaked descriptors/requests/retransmission state.  A pure
+  /// observer — a clean run traces byte-identically with it on or off, and
+  /// every hot-path hook is a single pointer null check when off.
+  bool verify = false;
+
+  /// Retention cap on verifier findings; the per-category counters keep
+  /// counting past it (pathological runs stay bounded in memory).
+  std::size_t verify_max_findings = 256;
 };
 
 }  // namespace bcs::bcsmpi

@@ -118,6 +118,21 @@ class SendMatchIndex {
     for (const auto& [seq, s] : by_seq_) f(s);
   }
 
+  /// Number of distinct source ranks with at least one arrived send that
+  /// matches receive `r` — the wildcard-race metric (src/verify): a
+  /// kAnySource receive matched while this exceeds 1 depends on descriptor
+  /// arrival order for its result.  Scans the canonical seq-ordered store;
+  /// only called with the verifier attached, never on the match hot path.
+  std::size_t countEligibleSources(const RecvDescriptor& r) const {
+    std::vector<int> srcs;
+    for (const auto& [seq, s] : by_seq_) {
+      if (envelopeMatches(r, s)) srcs.push_back(s.src_rank);
+    }
+    std::sort(srcs.begin(), srcs.end());
+    srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+    return srcs.size();
+  }
+
   /// Removes every descriptor for which `pred` returns true, visiting in
   /// posting (seq) order.  `pred` may have side effects (eviction scrubbing
   /// fails the affected requests as it goes).
@@ -149,6 +164,8 @@ class SendMatchIndex {
   }
 
   std::map<std::uint64_t, SendDescriptor> by_seq_;  ///< canonical, seq order
+  // det-ok: O(1) envelope lookup only; the sole iteration (forEachEnvelope)
+  // is order-normalized by the caller's sort over the derived seq list
   std::unordered_map<EnvelopeKey, std::vector<std::uint64_t>, EnvelopeHash>
       buckets_;
 };
@@ -244,6 +261,8 @@ class RecvMatchIndex {
   }
 
   std::map<std::uint64_t, RecvDescriptor> by_seq_;
+  // det-ok: O(1) envelope lookup only (bucketFor); never iterated, and each
+  // bucket's seq list is kept sorted independently of hash order
   std::unordered_map<EnvelopeKey, std::vector<std::uint64_t>, EnvelopeHash>
       buckets_;
   std::vector<std::uint64_t> wildcards_;

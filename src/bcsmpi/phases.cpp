@@ -285,6 +285,17 @@ void Runtime::matchDescriptors(int node, Duration& cost) {
     if (r == nullptr) continue;  // consumed earlier this pass
     const SendDescriptor* s = ns.remote_sends.lowestSeqMatch(*r);
     if (s == nullptr) continue;  // its send went to an earlier receive
+    if (verifier_) {
+      // Record the finding *before* the truncation throw below so the
+      // report survives the unwound run; the throw itself is unchanged
+      // (verify-off behavior is preserved exactly).
+      const std::size_t eligible =
+          r->want_src == mpi::kAnySource
+              ? ns.remote_sends.countEligibleSources(*r)
+              : 1;
+      verifier_->onMatch(slice_index_, cluster_.engine().now(), node, *s, *r,
+                         eligible);
+    }
     if (s->bytes > r->bytes) {
       throw sim::SimError("recv truncation: rank " +
                           std::to_string(r->dst_rank) + " posted " +

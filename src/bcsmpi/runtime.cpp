@@ -44,6 +44,10 @@ Runtime::Runtime(net::Cluster& cluster, BcsMpiConfig config)
   strobe_event_ = core_.allocEvent("microstrobe");
   coll_done_event_ = core_.allocEvent("collective-done");
   strobe_node_ = cluster.managementNode();
+  if (config_.verify) {
+    verifier_ = std::make_unique<verify::Verifier>(
+        trace_, config_.verify_max_findings);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +206,10 @@ std::uint64_t Runtime::postCollective(int job, int rank, CollectiveType type,
   d.op = op;
   d.request = req;
   d.posted_at = rs.proc->now();
+  if (verifier_) {
+    verifier_->onCollectivePosted(slice_index_, d.posted_at, rs.node, d,
+                                  jobSize(job));
+  }
   nodeState(rs.node).coll_fresh.push_back(d);
   return req;
 }
@@ -372,6 +380,11 @@ void Runtime::startSlice() {
     cbs.swap(checkpoint_cbs_);
     for (auto& cb : cbs) cb(record);
   }
+  if (verifier_) {
+    // The slice boundary is the conceptual MSM reduction point: every
+    // collective generation with a full rank set is color-reduced here.
+    verifier_->onSliceBoundary(slice_index_, cluster_.engine().now());
+  }
   ++slice_index_;
   ++stats_.slices;
   slice_start_ = cluster_.engine().now();
@@ -520,6 +533,135 @@ void Runtime::maybeStop() {
   // its operations completed), so the strobe can stop.
   stop_requested_ = true;
   stopWatchdogs();
+  if (verifier_ && !verifier_->finalized()) runVerifyAudit();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol verification (src/verify)
+// ---------------------------------------------------------------------------
+
+const verify::VerifyReport* Runtime::verifyAudit() {
+  if (!verifier_) return nullptr;
+  if (!verifier_->finalized()) runVerifyAudit();
+  return &verifier_->report();
+}
+
+void Runtime::runVerifyAudit() {
+  using verify::Category;
+  const SimTime now = cluster_.engine().now();
+  verify::Verifier& v = *verifier_;
+  auto leak = [&](Category cat, int node, int job, int rank,
+                  std::string detail) {
+    v.addFinding(cat, now, slice_index_, node, job, rank, std::move(detail));
+  };
+  for (int n : all_compute_nodes_) {
+    // Evicted nodes were scrubbed at recovery (their requests completed in
+    // error); auditing the rebuilt empty state would only mask that.
+    if (nodeEvicted(n)) continue;
+    NodeState& ns = nodeState(n);
+    for (const SendDescriptor& d : ns.bs_fresh) {
+      leak(Category::kLeakedDescriptor, n, d.job, d.src_rank,
+           "send to rank " + std::to_string(d.dst_rank) + " tag " +
+               std::to_string(d.tag) + " (" + std::to_string(d.bytes) +
+               "B, req " + std::to_string(d.request) + ", posted at " +
+               sim::formatTime(d.posted_at) + ") never exchanged");
+    }
+    for (const SendDescriptor& d : ns.bs_retry) {
+      leak(Category::kOrphanedRetransmit, n, d.job, d.src_rank,
+           "send to rank " + std::to_string(d.dst_rank) + " tag " +
+               std::to_string(d.tag) + " stuck after " +
+               std::to_string(d.retries) + " retransmission(s)");
+    }
+    ns.remote_sends.forEach([&](const SendDescriptor& d) {
+      leak(Category::kLeakedDescriptor, n, d.job, d.src_rank,
+           "exchanged send from rank " + std::to_string(d.src_rank) +
+               " to rank " + std::to_string(d.dst_rank) + " tag " +
+               std::to_string(d.tag) + " (" + std::to_string(d.bytes) +
+               "B, posted at " + sim::formatTime(d.posted_at) +
+               ") never matched a receive");
+    });
+    for (const RecvDescriptor& d : ns.recv_fresh) {
+      leak(Category::kLeakedDescriptor, n, d.job, d.dst_rank,
+           "recv (src " + std::to_string(d.want_src) + ", tag " +
+               std::to_string(d.want_tag) + ", req " +
+               std::to_string(d.request) + ") never left the NIC FIFO");
+    }
+    ns.recv_eligible.forEach([&](const RecvDescriptor& d) {
+      leak(Category::kLeakedDescriptor, n, d.job, d.dst_rank,
+           "recv (src " + std::to_string(d.want_src) + ", tag " +
+               std::to_string(d.want_tag) + ", req " +
+               std::to_string(d.request) + ", posted at " +
+               sim::formatTime(d.posted_at) + ") never matched a send");
+    });
+    for (const MatchDescriptor& m : ns.match_queue) {
+      leak(Category::kLeakedDescriptor, n, m.send.job, m.recv.dst_rank,
+           "matched message from rank " + std::to_string(m.send.src_rank) +
+               " tag " + std::to_string(m.send.tag) + " stalled at " +
+               std::to_string(m.offset) + "/" +
+               std::to_string(m.send.bytes) + "B");
+    }
+    for (const GetOp& op : ns.slice_gets) {
+      leak(Category::kOrphanedRetransmit, n, op.job, op.dst_rank,
+           "scheduled chunk (" + std::to_string(op.bytes) + "B from rank " +
+               std::to_string(op.src_rank) + ") never transferred");
+    }
+    {
+      // chunk_progress is an unordered_map; normalize to key order before
+      // reporting so the audit is replay-identical.
+      std::vector<ProgressKey> keys;
+      keys.reserve(ns.chunk_progress.size());
+      // det-ok: unordered_map visit is order-normalized by the sort below
+      for (const auto& [key, bytes] : ns.chunk_progress) keys.push_back(key);
+      std::sort(keys.begin(), keys.end(), [](const ProgressKey& a,
+                                             const ProgressKey& b) {
+        if (a.job != b.job) return a.job < b.job;
+        if (a.dst_rank != b.dst_rank) return a.dst_rank < b.dst_rank;
+        return a.recv_req < b.recv_req;
+      });
+      for (const ProgressKey& key : keys) {
+        leak(Category::kOrphanedRetransmit, n, key.job, key.dst_rank,
+             "partial byte accounting for req " +
+                 std::to_string(key.recv_req) + " (" +
+                 std::to_string(ns.chunk_progress.at(key)) +
+                 "B landed) with no completion");
+      }
+    }
+    for (const CollectiveDescriptor& d : ns.coll_fresh) {
+      leak(Category::kLeakedDescriptor, n, d.job, d.rank,
+           "collective #" + std::to_string(d.gen) +
+               " descriptor never pre-processed");
+    }
+    for (const auto& [job, pc] : ns.pending_coll) {
+      if (!pc.active) continue;
+      leak(Category::kLeakedDescriptor, n, job,
+           pc.local.empty() ? -1 : pc.local.front().rank,
+           "collective #" + std::to_string(pc.gen) + " (" +
+               std::string(collectiveTypeName(pc.type)) + ", " +
+               std::to_string(pc.local.size()) +
+               " local rank(s)) never globally scheduled");
+    }
+  }
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const JobState& js = jobs_[j];
+    for (std::size_t r = 0; r < js.ranks.size(); ++r) {
+      const RankState& rs = js.ranks[r];
+      // The request table is an unordered_map; sort the ids so identical
+      // runs report identical orders.
+      std::vector<std::uint64_t> open;
+      // det-ok: unordered_map visit is order-normalized by the sort below
+      for (const auto& [req, info] : rs.requests) {
+        if (!info.complete) open.push_back(req);
+      }
+      std::sort(open.begin(), open.end());
+      for (std::uint64_t req : open) {
+        leak(Category::kUnfinishedRequest, rs.node, static_cast<int>(j),
+             static_cast<int>(r),
+             "request " + std::to_string(req) + " never completed" +
+                 (rs.finished ? " (rank exited without waiting)" : ""));
+      }
+    }
+  }
+  v.finalizeAudit(now, slice_index_);
 }
 
 // ---------------------------------------------------------------------------

@@ -40,6 +40,7 @@
 #include "net/cluster.hpp"
 #include "sim/pool.hpp"
 #include "sim/process.hpp"
+#include "verify/verify.hpp"
 
 namespace bcs::bcsmpi {
 
@@ -111,6 +112,9 @@ struct RuntimeStats {
   std::uint64_t watchdog_fires = 0;   ///< slice watchdogs that expired
   std::uint64_t elections = 0;        ///< successful backup-SS promotions
   std::uint64_t rejoins = 0;          ///< evicted nodes reintegrated
+
+  /// Zeroes every counter (interval measurements around a workload).
+  void reset() { *this = RuntimeStats{}; }
 };
 
 class Runtime {
@@ -216,6 +220,18 @@ class Runtime {
     failover_handler_ = std::move(handler);
   }
 
+  // ---- Protocol verification (src/verify, BcsMpiConfig::verify) ----
+
+  /// The attached dynamic verifier, or nullptr when `config.verify` is off.
+  verify::Verifier* verifier() { return verifier_.get(); }
+
+  /// Runs the finalize audit — leaked descriptors, never-completed
+  /// requests, orphaned retransmission state — and returns the report
+  /// (nullptr when verification is off).  Invoked automatically when the
+  /// strobe stops cleanly; call it manually after a bounded run of a
+  /// deadlocked or faulted workload.  The audit runs at most once.
+  const verify::VerifyReport* verifyAudit();
+
   /// Announces that an evicted node is back (typically wired to STORM's
   /// rejoin handler, which fires when a hung node resumes acknowledging
   /// heartbeats).  The node is scrubbed and reintegrated at the next slice
@@ -237,6 +253,8 @@ class Runtime {
     std::uint64_t next_req = 1;
     int next_coll_gen = 0;
     std::uint64_t requests_completed = 0;
+    // det-ok: lookup-only by request id; the verify audit (the one walk)
+    // collects the keys and sorts them before reporting
     std::unordered_map<std::uint64_t, ReqInfo> requests;
   };
   struct JobState {
@@ -322,8 +340,9 @@ class Runtime {
     /// Bytes landed so far per in-progress message, keyed by
     /// (job, dst_rank, recv_req).  Under retransmission a retried earlier
     /// chunk may deliver *after* the message's final chunk, so completion is
-    /// driven by byte accounting, not by the final-chunk flag.  Never
-    /// iterated, so hash order cannot leak into behavior.
+    /// driven by byte accounting, not by the final-chunk flag.
+    // det-ok: keyed lookup on the DMA path; the verify audit (the one walk)
+    // sorts the collected keys before reporting
     std::unordered_map<ProgressKey, std::size_t, ProgressKeyHash>
         chunk_progress;
     /// MSM scratch: candidate recv seqs for this slice's matching pass
@@ -393,6 +412,10 @@ class Runtime {
   void performRecovery();
   void evictNodeState(int node);
 
+  // Protocol verification (runtime.cpp): the queue/request walk behind
+  // verifyAudit().
+  void runVerifyAudit();
+
   // Control-plane failover (runtime.cpp)
   Duration watchdogTimeout() const {
     return static_cast<Duration>(config_.watchdog_slices) * config_.time_slice;
@@ -449,6 +472,11 @@ class Runtime {
 
   /// Recycles collective payload buffers (see sim/pool.hpp).
   sim::PayloadPool payload_pool_;
+
+  /// Dynamic protocol verifier; null unless config_.verify.  Hot-path hooks
+  /// are guarded by this pointer (one predictable branch when off — never a
+  /// virtual call), which is what keeps the disabled verifier zero-cost.
+  std::unique_ptr<verify::Verifier> verifier_;
 
   RuntimeStats stats_;
 };

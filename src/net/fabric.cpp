@@ -36,7 +36,7 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
   checkNode(src);
   checkNode(dst);
   ++stats_.unicasts;
-  stats_.payload_bytes += static_cast<double>(bytes);
+  stats_.payload_bytes += static_cast<std::uint64_t>(bytes);
 
   const SimTime now = engine_.now();
 
@@ -138,8 +138,8 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
   for (int d : dests) checkNode(d);
 
   ++stats_.multicasts;
-  stats_.payload_bytes += static_cast<double>(bytes) *
-                          static_cast<double>(std::max<std::size_t>(dests.size(), 1));
+  stats_.payload_bytes += static_cast<std::uint64_t>(bytes) *
+                          static_cast<std::uint64_t>(std::max<std::size_t>(dests.size(), 1));
 
   if (dests.empty()) {
     if (on_all) engine_.at(engine_.now(), std::move(on_all));

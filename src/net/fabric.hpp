@@ -49,16 +49,21 @@ namespace bcs::net {
 using sim::Duration;
 using sim::SimTime;
 
-/// Aggregate fabric statistics, for utilization reports and tests.
+/// Aggregate fabric statistics, for utilization reports and tests.  All
+/// counters are std::uint64_t (payload_bytes included — it used to be a
+/// double, which silently loses exactness past 2^53 bytes).
 struct FabricStats {
   std::uint64_t unicasts = 0;
   std::uint64_t multicasts = 0;
   std::uint64_t conditionals = 0;
-  double payload_bytes = 0;
+  std::uint64_t payload_bytes = 0;
   std::uint64_t drops = 0;         ///< droppable unicasts lost at random
   std::uint64_t failed_sends = 0;  ///< unicasts to/from a down endpoint
   std::uint64_t suppressed_deliveries = 0;  ///< multicast legs to down nodes
   std::uint64_t suppressed_conditionals = 0;  ///< rounds whose issuer died
+
+  /// Zeroes every counter (interval measurements around a workload).
+  void reset() { *this = FabricStats{}; }
 };
 
 /// Per-send options for unicast.  Default-constructed == the historical

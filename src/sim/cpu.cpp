@@ -60,12 +60,12 @@ void CpuScheduler::account() {
   }
   last_update_ = now;
 
-  // Fire completions for tasks that have drained (deterministic id order).
+  // Fire completions for tasks that have drained (tasks_ is id-ordered, so
+  // the collected list already is too).
   std::vector<std::uint64_t> finished;
   for (auto& [id, t] : tasks_) {
     if (t.remaining_ns <= kEpsilonNs) finished.push_back(id);
   }
-  std::sort(finished.begin(), finished.end());
   for (std::uint64_t id : finished) {
     auto it = tasks_.find(id);
     std::function<void()> done = std::move(it->second.done);

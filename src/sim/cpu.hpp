@@ -23,7 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -85,7 +85,11 @@ class CpuScheduler {
   Engine& engine_;
   int num_cpus_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, Task> tasks_;
+  /// Ordered by task id: account() accumulates floating-point service over
+  /// this container, and FP addition is not associative — iteration must be
+  /// in a reproducible order, never hash order.  The per-node task count is
+  /// tiny, so the tree walk costs nothing measurable.
+  std::map<std::uint64_t, Task> tasks_;
   SimTime last_update_ = 0;
   EventId pending_completion_{};
   double user_delivered_ = 0;

@@ -246,6 +246,15 @@ class Engine {
   /// Total successful cancel() calls since construction.
   std::uint64_t cancelledEvents() const { return cancelled_; }
 
+  /// Zeroes the cumulative counters (executed / cancelled / reclaimed
+  /// tombstones) for interval measurements.  The live-event count is queue
+  /// occupancy, not a statistic, and is left alone.
+  void resetStats() {
+    executed_ = 0;
+    cancelled_ = 0;
+    dropped_tombstones_ = 0;
+  }
+
  private:
   /// Pooled event node.  The ordering key (when, seq) lives only in the
   /// queue entry; the node carries just the callback and handle state, so a

@@ -97,6 +97,9 @@ struct FaultStats {
   std::uint64_t drops = 0;       ///< droppable packets lost
   std::uint64_t degrades = 0;    ///< packets given extra latency
   std::uint64_t forced_down = 0; ///< nodes downed at run time (forceDown)
+
+  /// Zeroes every counter (interval measurements around a workload).
+  void reset() { *this = FaultStats{}; }
 };
 
 /// Turns a FaultPlan into deterministic per-packet decisions.  One instance

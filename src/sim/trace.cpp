@@ -18,6 +18,7 @@ const char* traceCategoryName(TraceCategory c) {
     case TraceCategory::kStorm: return "STORM";
     case TraceCategory::kFault: return "FAULT";
     case TraceCategory::kFailover: return "FAILOVER";
+    case TraceCategory::kVerify: return "VERIFY";
     case TraceCategory::kApp: return "APP";
   }
   return "?";

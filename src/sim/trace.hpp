@@ -29,6 +29,7 @@ enum class TraceCategory : std::uint8_t {
   kStorm,       // MM/NM resource-management traffic
   kFault,       // injected faults, retransmissions, evictions, recovery
   kFailover,    // control-plane failover: watchdogs, elections, rejoins
+  kVerify,      // protocol-verifier findings (src/verify)
   kApp,
 };
 

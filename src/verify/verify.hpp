@@ -1,0 +1,164 @@
+#pragma once
+
+// bcs-verify: the dynamic protocol verifier (PARCOACH-style, see
+// SNIPPETS.md and DESIGN.md §5 "Verification layer").
+//
+// BCS-MPI's global scheduling gives the runtime a synchronized view of all
+// communication at every time slice, which makes whole-program correctness
+// checking nearly free: at MSM time the Buffer Receivers already hold every
+// posted descriptor of the slice, so mismatched collectives, truncated
+// receives, wildcard races and leaked protocol state are all visible
+// without extra communication.  The `Verifier` exploits exactly that
+// vantage point:
+//
+//  * every collective post contributes a per-rank *color* — a hash of
+//    (operation, root, count, datatype, reduce-op) — keyed by
+//    (job, call generation).  At each slice boundary (the MSM instant, when
+//    the per-job flag variables would be Compare-And-Write'd anyway) the
+//    verifier reduces the colors of each completed generation and reports
+//    rank-level divergence with call-site provenance (rank, call index,
+//    post time, operation signature);
+//  * every MSM match is checked for truncation (send larger than the posted
+//    receive buffer) *before* the runtime acts on it;
+//  * a wildcard (kAnySource) receive that matches while more than one
+//    distinct source has an eligible send arrived is flagged as a
+//    replay-determinism hazard: the program's result depends on descriptor
+//    arrival order, which only the globally scheduled runtime makes
+//    reproducible;
+//  * the finalize audit (Runtime::verifyAudit) walks every NIC queue and
+//    request table and reports leaked descriptors, never-completed requests
+//    and orphaned retransmission state.
+//
+// The verifier is a pure observer.  It never posts events, sends traffic or
+// perturbs timing, so a *clean* run traces byte-identically with the
+// verifier on or off — findings are the only thing it ever emits (as
+// TraceCategory::kVerify records plus the structured VerifyReport).  All
+// runtime hooks are guarded by a raw-pointer null check, making the feature
+// zero-cost when `BcsMpiConfig::verify` is false.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bcsmpi/descriptors.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace bcs::verify {
+
+/// Diagnostic categories, one counter each in the VerifyReport.
+enum class Category : int {
+  kCollectiveDivergence = 0,  ///< ranks disagree on a collective call
+  kTruncatedRecv,             ///< matched send larger than the recv buffer
+  kWildcardRace,              ///< kAnySource recv with >1 eligible sender
+  kLeakedDescriptor,          ///< descriptor still queued at finalize
+  kUnfinishedRequest,         ///< request never completed
+  kOrphanedRetransmit,        ///< retry/chunk accounting left behind
+};
+inline constexpr int kNumCategories = 6;
+
+const char* categoryName(Category c);
+
+/// One structured diagnostic.  `rank`/`job`/`node` are -1 when the finding
+/// is not specific to one.
+struct Finding {
+  Category category = Category::kLeakedDescriptor;
+  sim::SimTime time = 0;
+  std::uint64_t slice = 0;
+  int node = -1;
+  int job = -1;
+  int rank = -1;
+  std::string detail;
+};
+
+/// Aggregated verification outcome: per-category counters (always exact)
+/// plus the retained findings (capped; see BcsMpiConfig::verify_max_findings).
+struct VerifyReport {
+  std::array<std::uint64_t, kNumCategories> counts{};
+  std::vector<Finding> findings;
+  std::uint64_t dropped_findings = 0;  ///< found beyond the retention cap
+  std::uint64_t collectives_checked = 0;  ///< color groups reduced clean
+  std::uint64_t matches_checked = 0;      ///< send/recv pairs examined
+  bool finalized = false;  ///< the finalize audit has run
+
+  std::uint64_t count(Category c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  bool clean() const {
+    for (std::uint64_t c : counts) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+  /// Human-readable rendering (header, per-category counts, findings).
+  std::string render() const;
+};
+
+class Verifier {
+ public:
+  /// Findings are mirrored to `trace` (TraceCategory::kVerify) when tracing
+  /// is enabled; at most `max_findings` are retained in the report.
+  explicit Verifier(sim::Trace* trace, std::size_t max_findings = 256);
+
+  // ---- Prong A hooks (called by the Runtime, verifier-on only) ----
+
+  /// A rank posted a collective descriptor; contributes its color to the
+  /// (job, generation) group.  `job_size` = total ranks expected.
+  void onCollectivePosted(std::uint64_t slice, sim::SimTime now, int node,
+                          const bcsmpi::CollectiveDescriptor& d, int job_size);
+
+  /// Slice boundary = the conceptual MSM reduction point: every collective
+  /// generation whose full rank set has posted is color-reduced and either
+  /// counted clean or reported divergent.
+  void onSliceBoundary(std::uint64_t slice, sim::SimTime now);
+
+  /// The MSM matched send `s` to receive `r` on `node`.  Checks byte-count
+  /// agreement (truncation) and, for wildcard receives, the number of
+  /// distinct eligible sources (`eligible_sources`, 1 for concrete
+  /// receives) for the replay-determinism hazard.
+  void onMatch(std::uint64_t slice, sim::SimTime now, int node,
+               const bcsmpi::SendDescriptor& s, const bcsmpi::RecvDescriptor& r,
+               std::size_t eligible_sources);
+
+  /// Records one finding (used directly by the Runtime's finalize audit).
+  void addFinding(Category cat, sim::SimTime now, std::uint64_t slice,
+                  int node, int job, int rank, std::string detail);
+
+  /// Flushes incomplete collective groups (a generation some ranks never
+  /// entered is itself a divergence) and marks the report finalized.
+  /// Idempotent.
+  void finalizeAudit(sim::SimTime now, std::uint64_t slice);
+
+  bool finalized() const { return report_.finalized; }
+  const VerifyReport& report() const { return report_; }
+
+ private:
+  /// One rank's contribution to a collective color group.
+  struct ColorEntry {
+    int rank = -1;
+    int node = -1;
+    std::uint64_t color = 0;
+    sim::SimTime posted_at = 0;
+    std::string signature;  ///< "reduce(root=0, count=4, dt=f64, op=sum)"
+  };
+  struct ColorGroup {
+    int expected = 0;  ///< job size when the first rank posted
+    std::vector<ColorEntry> entries;
+  };
+
+  void checkGroup(int job, int gen, const ColorGroup& g, std::uint64_t slice,
+                  sim::SimTime now, bool final_audit);
+
+  sim::Trace* trace_;
+  std::size_t max_findings_;
+  /// Pending color groups keyed by (job, generation) — a std::map so every
+  /// reduction pass visits groups in (job, gen) order, never hash order.
+  std::map<std::pair<int, int>, ColorGroup> pending_;
+  VerifyReport report_;
+};
+
+}  // namespace bcs::verify

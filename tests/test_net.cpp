@@ -273,7 +273,7 @@ TEST(FabricStatsTest, CountsOperations) {
   EXPECT_EQ(fabric.stats().unicasts, 1u);
   EXPECT_EQ(fabric.stats().multicasts, 1u);
   EXPECT_EQ(fabric.stats().conditionals, 1u);
-  EXPECT_GE(fabric.stats().payload_bytes, 300.0);
+  EXPECT_GE(fabric.stats().payload_bytes, 300u);
 }
 
 // -------------------------------------------------------------- Cluster --

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""AST-free determinism lint for the simulator core.
+
+The repository's central guarantee is byte-identical replay: same (seed,
+plan) => identical traces (tests/test_determinism.cpp).  That guarantee is
+only as strong as the absence of nondeterminism *sources* in the simulated
+paths, so this checker mechanically bans them in src/sim and src/bcsmpi
+(and src/verify, which observes those paths):
+
+  1. Wall-clock / host-entropy / host-environment calls: rand(), srand(),
+     std::random_device, getenv, system_clock, steady_clock,
+     high_resolution_clock, gettimeofday, clock_gettime, random_shuffle.
+     Simulated time comes from the event engine; randomness comes from the
+     seeded xoshiro streams in sim/rng.hpp.  No exceptions.
+
+  2. Hash-ordered containers: every textual use of std::unordered_map /
+     unordered_set (and the multi variants) must carry an audited
+     annotation of the form
+
+         // det-ok: <one-line justification>
+
+     on the same line or within the three lines above it, explaining why
+     hash order cannot leak into traces, events or RNG draws (e.g.
+     "lookup-only", "iteration is order-normalized by the caller's sort").
+     An empty justification is an error — the annotation is an audit trail,
+     not an escape hatch.  Code that cannot justify itself converts to
+     ordered iteration instead (see sim/cpu.cpp's task table).
+
+Zero third-party dependencies; line/regex based by design so it runs
+anywhere a Python interpreter exists, with no compiler involvement.
+
+Usage: tools/determinism_lint.py [paths...]   (default: src/sim src/bcsmpi
+src/verify, relative to the repository root, which is inferred from this
+file's location)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/verify"]
+EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+
+BANNED = [
+    (re.compile(r"\brand\s*\("), "rand() — use sim/rng.hpp streams"),
+    (re.compile(r"\bsrand\s*\("), "srand() — use sim/rng.hpp streams"),
+    (re.compile(r"\brandom_device\b"), "std::random_device — host entropy"),
+    (re.compile(r"\brandom_shuffle\b"), "random_shuffle — unseeded order"),
+    (re.compile(r"\bgetenv\b"), "getenv — host environment in sim path"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock — wall clock"),
+    (re.compile(r"\bsteady_clock\b"), "steady_clock — wall clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "high_resolution_clock — wall clock"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday — wall clock"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime — wall clock"),
+]
+
+UNORDERED = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+DET_OK = re.compile(r"//\s*det-ok:(.*)$")
+# det-ok must be on the flagged line or within this many lines above it.
+DET_OK_REACH = 3
+
+
+def strip_comments(lines):
+    """Returns (code_lines, raw_lines): code_lines have // and /* */ comment
+    text removed (string literals are not parsed — good enough for this
+    codebase, which keeps banned tokens out of strings)."""
+    code = []
+    in_block = False
+    for raw in lines:
+        line = raw
+        out = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    i = end + 2
+                    in_block = False
+            else:
+                slash = line.find("//", i)
+                block = line.find("/*", i)
+                if slash >= 0 and (block < 0 or slash < block):
+                    out.append(line[i:slash])
+                    i = len(line)
+                elif block >= 0:
+                    out.append(line[i:block])
+                    i = block + 2
+                    in_block = True
+                else:
+                    out.append(line[i:])
+                    i = len(line)
+        code.append("".join(out))
+    return code
+
+
+def lint_file(path: Path):
+    findings = []
+    raw = path.read_text().splitlines()
+    code = strip_comments(raw)
+
+    def det_ok_near(idx):
+        """A well-formed det-ok annotation on the line or just above it.
+        Returns (found, error) — an empty justification is its own error."""
+        for k in range(idx, max(-1, idx - DET_OK_REACH - 1), -1):
+            m = DET_OK.search(raw[k])
+            if m:
+                if not m.group(1).strip():
+                    return True, f"{path}:{k + 1}: det-ok with empty " \
+                                 "justification (the annotation is an " \
+                                 "audit trail, not an escape hatch)"
+                return True, None
+        return False, None
+
+    for idx, line in enumerate(code):
+        for pattern, why in BANNED:
+            if pattern.search(line):
+                findings.append(
+                    f"{path}:{idx + 1}: banned nondeterminism source: {why}")
+        if UNORDERED.search(line) and "#include" not in line:
+            found, err = det_ok_near(idx)
+            if err:
+                findings.append(err)
+            elif not found:
+                findings.append(
+                    f"{path}:{idx + 1}: unordered container without a "
+                    "// det-ok: justification (convert to ordered "
+                    "iteration or document why hash order cannot leak)")
+
+    # Orphaned / malformed annotations anywhere in the file.
+    for idx, rawline in enumerate(raw):
+        m = DET_OK.search(rawline)
+        if m and not m.group(1).strip():
+            msg = f"{path}:{idx + 1}: det-ok with empty justification " \
+                  "(the annotation is an audit trail, not an escape hatch)"
+            if msg not in findings:
+                findings.append(msg)
+    return findings
+
+
+def main(argv):
+    repo_root = Path(__file__).resolve().parent.parent
+    scope = [Path(p) for p in argv[1:]] or [repo_root / p
+                                            for p in DEFAULT_SCOPE]
+    files = []
+    for entry in scope:
+        if entry.is_file():
+            files.append(entry)
+        else:
+            files.extend(p for p in sorted(entry.rglob("*"))
+                         if p.suffix in EXTENSIONS)
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f))
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s):")
+        for f in findings:
+            print("  " + f)
+        return 1
+    print(f"determinism_lint: clean ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
