@@ -196,6 +196,85 @@ double soupEventsPerSec(int nodes, long long slices,
 }
 
 // ---------------------------------------------------------------------------
+// Sharded event soup for the parallel engine: one shard per node, the same
+// per-slice event mix as above but driven per-shard, plus a cross-shard
+// neighbor handoff every fourth slice targeting the next window.  threads=0
+// runs the identical workload through the serial scheduler as the baseline;
+// the serial and parallel executed-event counts must agree (the conformance
+// tier pins the stronger byte-identity guarantee — here it doubles as a
+// sanity check that the bench measures the same work).
+// ---------------------------------------------------------------------------
+
+double parSoupEventsPerSec(int nodes, long long slices, int threads,
+                           std::uint64_t* executed_out = nullptr) {
+  constexpr int kPerNode = 10;
+  constexpr int kTimeoutSlices = 8;
+  sim::Engine eng;
+  sim::Rng rng(2026);
+  const SimTime slice_len = usec(500);
+
+  std::vector<SimTime> jitter(static_cast<std::size_t>(nodes) * kPerNode);
+  for (auto& j : jitter) {
+    j = static_cast<SimTime>(rng.below(static_cast<std::uint64_t>(
+        slice_len - 2000)));
+  }
+  std::vector<std::uint8_t> cancel_mask(
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(slices));
+  for (auto& c : cancel_mask) c = rng.below(16) != 0;  // ~94% cancelled
+
+  // Per-shard state only ever touched from that shard's worker; sinks are
+  // cache-line strided so parallel bumps don't false-share.
+  std::vector<std::uint64_t> sinks(static_cast<std::size_t>(nodes) * 8);
+  std::vector<sim::EventId> timers(static_cast<std::size_t>(nodes) *
+                                   kTimeoutSlices);
+
+  std::function<void(int, long long)> drive = [&](int n, long long s) {
+    if (s >= slices) return;
+    const SimTime t0 = eng.now();
+    std::uint64_t* sink = &sinks[static_cast<std::size_t>(n) * 8];
+    const SimTime* jit = &jitter[static_cast<std::size_t>(n) * kPerNode];
+    const CallbackCtx ctx{&eng, n, 0, static_cast<std::uint64_t>(s)};
+    for (int p = 0; p < kPerNode; ++p) {
+      eng.at(t0 + jit[p], [ctx, sink] { *sink += ctx.seq + ctx.node; });
+    }
+    sim::EventId& timer = timers[static_cast<std::size_t>(n) * kTimeoutSlices +
+                                 static_cast<std::size_t>(s % kTimeoutSlices)];
+    if (s >= kTimeoutSlices &&
+        cancel_mask[static_cast<std::size_t>(s - kTimeoutSlices) *
+                        static_cast<std::size_t>(nodes) +
+                    static_cast<std::size_t>(n)]) {
+      eng.cancel(timer);
+    }
+    timer = eng.at(t0 + kTimeoutSlices * slice_len + jit[0],
+                   [ctx, sink] { *sink += ctx.node; });
+    if (s % 4 == 0) {
+      // Next-window neighbor handoff: t0 + slice_len is the window barrier,
+      // so any non-negative jitter lands at or past it.
+      eng.handoff(static_cast<sim::ShardId>((n + 1) % nodes),
+                  t0 + slice_len + jit[0], [ctx, sink] { *sink += ctx.seq; });
+    }
+    eng.at(t0 + slice_len, [&drive, n, s] { drive(n, s + 1); });
+  };
+
+  for (int n = 0; n < nodes; ++n) {
+    eng.atOn(static_cast<sim::ShardId>(n), 0, [&drive, n] { drive(n, 0); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads > 0) {
+    sim::ParallelPolicy policy;
+    policy.threads = threads;
+    policy.window = slice_len;
+    eng.run(policy);
+  } else {
+    eng.run();
+  }
+  const double secs = secondsSince(t0);
+  if (executed_out) *executed_out = eng.executedEvents();
+  return static_cast<double>(eng.executedEvents()) / secs;
+}
+
+// ---------------------------------------------------------------------------
 // Matcher throughput on a randomized descriptor soup.
 // ---------------------------------------------------------------------------
 
@@ -367,6 +446,36 @@ int main(int argc, char** argv) {
     results["speedup_vs_legacy_n128"] = speedup;
     std::printf("  legacy n=128 %9.2f M events/s  -> speedup %.2fx\n",
                 legacy_eps / 1e6, speedup);
+  }
+
+  std::printf("parallel engine soup (one shard per node, n=128)\n");
+  {
+    const int n = 128;
+    const long long slices = 160000 / n;
+    std::uint64_t serial_events = 0;
+    const double serial_eps =
+        parSoupEventsPerSec(n, slices, 0, &serial_events);
+    results["par_soup_serial_events_per_sec_n128"] = serial_eps;
+    std::printf("  serial  %9.2f M events/s  (%llu events)\n",
+                serial_eps / 1e6,
+                static_cast<unsigned long long>(serial_events));
+    for (const int t : {1, 2, 4, 8}) {
+      std::uint64_t events = 0;
+      const double eps = parSoupEventsPerSec(n, slices, t, &events);
+      results["par_soup_events_per_sec_t" + std::to_string(t) + "_n128"] =
+          eps;
+      std::printf("  t=%-2d    %9.2f M events/s  (%.2fx serial)\n", t,
+                  eps / 1e6, eps / serial_eps);
+      if (events != serial_events) {
+        std::printf("  WARNING t=%d executed %llu events, serial executed "
+                    "%llu — parallel run diverged\n",
+                    t, static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(serial_events));
+        return 1;
+      }
+    }
+    results["par_soup_speedup_t4_n128"] =
+        results["par_soup_events_per_sec_t4_n128"] / serial_eps;
   }
 
   std::printf("MSM matcher (envelope index vs quadratic reference)\n");

@@ -173,6 +173,25 @@ class Runtime {
   /// Index of the current time slice (also the count of DEM strobes sent).
   std::uint64_t sliceIndex() const { return slice_index_; }
 
+  /// Parallel-run policy whose global barriers are this runtime's slice
+  /// boundaries: the strobe schedule already guarantees nodes only interact
+  /// across slice edges, so the engine's windowed drain (see
+  /// Engine::run(ParallelPolicy)) aligns its merge points with the
+  /// slice-boundary hooks (recovery, checkpoints, rejoin) for free.  The
+  /// runtime itself runs entirely on shard 0 and is byte-identical under
+  /// this policy; workloads sharded per node via Engine::atOn +
+  /// Fabric::setShardMap get drained concurrently between boundaries.
+  sim::ParallelPolicy parallelPolicy(int threads) const {
+    sim::ParallelPolicy policy;
+    policy.threads = threads;
+    policy.window = config_.time_slice;
+    const sim::Duration slice = config_.time_slice;
+    policy.next_barrier = [slice](sim::SimTime t) {
+      return (t / slice + 1) * slice;  // the strobe grid: slice multiples
+    };
+    return policy;
+  }
+
   /// Requests a coordinated checkpoint: `cb` runs at the next slice
   /// boundary (before the DEM strobe goes out) with a globally consistent
   /// snapshot.  Multiple pending requests are all served at that boundary.

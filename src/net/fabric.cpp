@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <utility>
@@ -24,6 +25,39 @@ void Fabric::checkNode(int node) const {
   }
 }
 
+void Fabric::setFaultInjector(sim::FaultInjector* injector) {
+  if (injector != nullptr && !shard_map_.empty()) {
+    sim::simFail("Fabric: a fault injector cannot be combined with a shard "
+                 "map (fault RNG draws would race across shard workers)");
+  }
+  fault_ = injector;
+}
+
+void Fabric::setShardMap(std::vector<sim::ShardId> shard_of) {
+  if (!shard_of.empty()) {
+    if (fault_ != nullptr) {
+      sim::simFail("Fabric: a shard map cannot be combined with a fault "
+                   "injector (fault RNG draws would race across shard "
+                   "workers)");
+    }
+    if (shard_of.size() != static_cast<std::size_t>(num_nodes_)) {
+      sim::simFail("Fabric::setShardMap: map covers " +
+                   std::to_string(shard_of.size()) + " nodes, fabric has " +
+                   std::to_string(num_nodes_));
+    }
+  }
+  shard_map_ = std::move(shard_of);
+}
+
+void Fabric::bump(std::uint64_t& counter, std::uint64_t delta) {
+  if (shard_map_.empty()) {
+    counter += delta;
+  } else {
+    std::atomic_ref<std::uint64_t>(counter).fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+}
+
 Duration Fabric::baseLatency(int src, int dst) const {
   if (src == dst) return params_.pci_latency;
   return params_.wire_latency +
@@ -35,10 +69,39 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
                      std::function<void()> on_injected, SendOptions opts) {
   checkNode(src);
   checkNode(dst);
-  ++stats_.unicasts;
-  stats_.payload_bytes += static_cast<std::uint64_t>(bytes);
+  bump(stats_.unicasts);
+  bump(stats_.payload_bytes, static_cast<std::uint64_t>(bytes));
 
   const SimTime now = engine_.now();
+
+  // Cross-shard transfer under a shard map: model the source side (egress
+  // occupancy, wire latency) as usual, but hand the delivery off to the
+  // destination's shard instead of touching its ingress state.  The handoff
+  // lands at or past the next barrier by the conservative-window contract
+  // (Engine::handoff enforces it loudly).
+  if (!shard_map_.empty() && src != dst &&
+      shard_map_[static_cast<std::size_t>(src)] !=
+          shard_map_[static_cast<std::size_t>(dst)]) {
+    const double bw = params_.effectiveBandwidth();
+    const auto serial =
+        static_cast<Duration>(std::ceil(static_cast<double>(bytes) / bw));
+    Endpoint& e_src = endpoints_[static_cast<std::size_t>(src)];
+    const SimTime inject = now + params_.nic_tx_overhead + params_.pci_latency;
+    const SimTime start_tx = std::max(inject, e_src.egress_free);
+    e_src.egress_free = start_tx + serial;
+    const SimTime completion = start_tx + baseLatency(src, dst) + serial +
+                               params_.nic_rx_overhead;
+    if (trace_) {
+      trace_->record(now, sim::TraceCategory::kNet, src,
+                     "unicast -> n" + std::to_string(dst) + " " +
+                         std::to_string(bytes) + "B, delivers at " +
+                         sim::formatTime(completion) + " (x-shard)");
+    }
+    if (on_injected) engine_.at(e_src.egress_free, std::move(on_injected));
+    engine_.handoff(shard_map_[static_cast<std::size_t>(dst)], completion,
+                    std::move(on_delivered));
+    return;
+  }
 
   // A down source NIC cannot inject anything: report failure after the ack
   // timeout without occupying the wire.
@@ -136,10 +199,22 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
   std::sort(dests.begin(), dests.end());
   dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
   for (int d : dests) checkNode(d);
+  if (!shard_map_.empty()) {
+    const sim::ShardId home = shard_map_[static_cast<std::size_t>(src)];
+    for (int d : dests) {
+      if (shard_map_[static_cast<std::size_t>(d)] != home) {
+        sim::simFail("Fabric::multicast: cross-shard destination n" +
+                     std::to_string(d) +
+                     " under a shard map (keep collective traffic on one "
+                     "shard)");
+      }
+    }
+  }
 
-  ++stats_.multicasts;
-  stats_.payload_bytes += static_cast<std::uint64_t>(bytes) *
-                          static_cast<std::uint64_t>(std::max<std::size_t>(dests.size(), 1));
+  bump(stats_.multicasts);
+  bump(stats_.payload_bytes,
+       static_cast<std::uint64_t>(bytes) *
+           static_cast<std::uint64_t>(std::max<std::size_t>(dests.size(), 1)));
 
   if (dests.empty()) {
     if (on_all) engine_.at(engine_.now(), std::move(on_all));
@@ -299,7 +374,18 @@ void Fabric::conditional(int src, std::vector<int> nodes,
                          std::function<void(bool)> on_result) {
   checkNode(src);
   for (int d : nodes) checkNode(d);
-  ++stats_.conditionals;
+  if (!shard_map_.empty()) {
+    const sim::ShardId home = shard_map_[static_cast<std::size_t>(src)];
+    for (int d : nodes) {
+      if (shard_map_[static_cast<std::size_t>(d)] != home) {
+        sim::simFail("Fabric::conditional: cross-shard participant n" +
+                     std::to_string(d) +
+                     " under a shard map (keep conditional rounds on one "
+                     "shard)");
+      }
+    }
+  }
+  bump(stats_.conditionals);
 
   const Duration lat = conditionalLatency(static_cast<int>(nodes.size()));
   engine_.after(lat, [this, src, nodes = std::move(nodes),

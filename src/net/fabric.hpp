@@ -125,9 +125,29 @@ class Fabric {
   const FabricStats& stats() const { return stats_; }
 
   /// Attaches (or detaches, with nullptr) a fault injector.  Not owned; must
-  /// outlive the fabric or be detached first.
-  void setFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
+  /// outlive the fabric or be detached first.  Incompatible with a shard map
+  /// (fault decisions draw from one RNG stream, which concurrent shard
+  /// workers would consume in nondeterministic order).
+  void setFaultInjector(sim::FaultInjector* injector);
   sim::FaultInjector* faultInjector() const { return fault_; }
+
+  /// Declares the node → shard placement for parallel engine runs
+  /// (Engine::run(ParallelPolicy)).  `shard_of[n]` is node n's shard; an
+  /// empty vector (the default) disables the feature.  With a map in place:
+  ///   * same-shard unicasts behave exactly as before;
+  ///   * cross-shard unicasts model the source side normally, then deliver
+  ///     through Engine::handoff to the destination's shard — skipping the
+  ///     destination ingress-serialization term, since that endpoint state
+  ///     belongs to another shard (a documented approximation: barrier
+  ///     spacing at or below the minimum network latency keeps deliveries
+  ///     past the next barrier, the classic conservative-window condition);
+  ///   * multicast/conditional with cross-shard participants fail loudly —
+  ///     keep collective control traffic on one shard;
+  ///   * stats counters are bumped atomically (relaxed).
+  /// The BCS runtime never installs a map — its whole control plane runs on
+  /// shard 0 — so every existing code path is untouched.
+  void setShardMap(std::vector<sim::ShardId> shard_of);
+  bool shardMapped() const { return !shard_map_.empty(); }
 
   sim::Engine& engine() { return engine_; }
 
@@ -143,6 +163,10 @@ class Fabric {
                          std::function<void()> on_all);
 
   void checkNode(int node) const;
+  /// Counter bump that is race-free when a shard map routes concurrent
+  /// workers through this fabric (plain add otherwise — the counters stay
+  /// non-atomic fields so the serial hot path is unchanged).
+  void bump(std::uint64_t& counter, std::uint64_t delta = 1);
 
   sim::Engine& engine_;
   NetworkParams params_;
@@ -151,6 +175,7 @@ class Fabric {
   std::vector<Endpoint> endpoints_;
   sim::Trace* trace_;
   sim::FaultInjector* fault_ = nullptr;
+  std::vector<sim::ShardId> shard_map_;  ///< node -> shard; empty = off
   FabricStats stats_;
 };
 

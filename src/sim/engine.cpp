@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <utility>
 
 namespace bcs::sim {
@@ -16,14 +17,114 @@ void simFail(const std::string& what) {
 #endif
 }
 
-Engine::Engine() : buckets_(kNumBuckets) {
-  free_.reserve(kChunkSize);
-  overflow_.reserve(64);
+// ---------------------------------------------------------------------------
+// Canonical ordering key: (shard : 16 | handoff band : 1 | seq : 47).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kShardShift = 48;
+constexpr std::uint64_t kHandoffBand = 1ull << 47;
+
+std::uint64_t makeKey(ShardId shard, bool handoff_band, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(shard) << kShardShift) |
+         (handoff_band ? kHandoffBand : 0) | seq;
 }
 
-void Engine::failSchedulePast(SimTime when) const {
+ShardId keyShard(std::uint64_t key) {
+  return static_cast<ShardId>(key >> kShardShift);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-worker execution context.  Everything a firing callback touches
+// through the engine (scheduling, cancellation, counters, deferred side
+// effects) routes through here during a parallel window, so workers never
+// write shared engine state mid-window; the coordinator folds the deltas in
+// at the barrier, in canonical order.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct ExecContext {
+  struct StagedHandoff {
+    ShardId shard;
+    SimTime when;
+    SimTime src_when;       ///< firing time of the staging event
+    std::uint64_t src_key;  ///< canonical key of the staging event
+    std::uint32_t idx;      ///< handoff() call ordinal within that event
+    EventCallback cb;
+  };
+  struct DeferredTrace {
+    void* trace;
+    TraceCommitFn commit;
+    SimTime t;
+    std::uint8_t category;
+    int node;
+    std::string message;
+    SimTime src_when;
+    std::uint64_t src_key;
+    std::uint32_t idx;
+  };
+
+  Engine* eng = nullptr;
+  int worker = 0;
+  SimTime now = 0;
+  SimTime window_end = 0;
+  ShardId cur_shard = 0;
+  std::uint64_t cur_key = 0;
+  std::uint32_t handoff_idx = 0;
+  std::uint32_t trace_idx = 0;
+  std::vector<std::uint32_t> free;  ///< worker-private node arena
+  std::int64_t live_delta = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t dropped = 0;
+  SimTime max_fired = -1;
+  std::vector<StagedHandoff> staged;
+  std::vector<DeferredTrace> deferred;
+#if defined(__cpp_exceptions)
+  std::exception_ptr error;
+#endif
+};
+
+namespace {
+thread_local ExecContext* t_ctx = nullptr;
+}  // namespace
+
+void* currentExecContext() { return t_ctx; }
+void adoptExecContext(void* ctx) { t_ctx = static_cast<ExecContext*>(ctx); }
+
+bool deferTraceRecord(void* trace, TraceCommitFn commit, SimTime t,
+                      std::uint8_t category, int node, std::string&& message) {
+  ExecContext* ctx = t_ctx;
+  if (ctx == nullptr) return false;
+  ctx->deferred.push_back(ExecContext::DeferredTrace{
+      trace, commit, t, category, node, std::move(message), ctx->now,
+      ctx->cur_key, ctx->trace_idx++});
+  return true;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Construction, node pool
+// ---------------------------------------------------------------------------
+
+Engine::Engine() : shard_seq_(1, 1), buckets_(kNumBuckets) {
+  free_.reserve(kChunkSize);
+  overflow_.reserve(64);
+  // The chunk table never reallocates (workers index it while another
+  // worker appends under chunk_mu_); reserve the lifetime maximum up front.
+  chunks_.reserve(kMaxChunks);
+}
+
+Engine::~Engine() = default;
+
+void Engine::failSchedulePast(SimTime when, SimTime now) const {
   simFail("Engine::at: scheduling into the past (when=" + formatTime(when) +
-          ", now=" + formatTime(now_) + ")");
+          ", now=" + formatTime(now) + ")");
 }
 
 void Engine::failNegativeDelay() { simFail("Engine::after: negative delay"); }
@@ -34,10 +135,37 @@ std::uint32_t Engine::acquireNode() {
     free_.pop_back();
     return slot;
   }
-  const std::uint32_t slot = node_count_++;
+  const std::uint32_t slot = node_count_.fetch_add(1, std::memory_order_relaxed);
   if ((slot >> kChunkShift) == chunks_.size()) {
+    if (chunks_.size() == kMaxChunks) simFail("Engine: event-node pool exhausted");
     chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
   }
+  return slot;
+}
+
+std::uint32_t Engine::acquireNodeCtx(detail::ExecContext& ctx) {
+  if (!ctx.free.empty()) {
+    const std::uint32_t slot = ctx.free.back();
+    ctx.free.pop_back();
+    return slot;
+  }
+  // Refill the worker's arena with a batch of fresh slots; chunk growth and
+  // the slot counter are serialized under chunk_mu_.
+  constexpr std::uint32_t kBatch = 64;
+  std::lock_guard<std::mutex> lock(chunk_mu_);
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    const std::uint32_t slot =
+        node_count_.fetch_add(1, std::memory_order_relaxed);
+    if ((slot >> kChunkShift) == chunks_.size()) {
+      if (chunks_.size() == kMaxChunks) {
+        simFail("Engine: event-node pool exhausted");
+      }
+      chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    }
+    ctx.free.push_back(slot);
+  }
+  const std::uint32_t slot = ctx.free.back();
+  ctx.free.pop_back();
   return slot;
 }
 
@@ -47,6 +175,10 @@ void Engine::releaseNode(std::uint32_t slot) {
   ++n.gen;  // invalidate any outstanding handles to this slot
   free_.push_back(slot);
 }
+
+// ---------------------------------------------------------------------------
+// Queue primitives (shared by the serial calendar and the shard heaps)
+// ---------------------------------------------------------------------------
 
 void Engine::heapPush(std::vector<QEntry>& heap, QEntry entry) {
   heap.push_back(entry);
@@ -77,7 +209,7 @@ void Engine::heapPop(std::vector<QEntry>& heap) {
   heap[i] = last;
 }
 
-// Descending (when, seq): back() of a sorted bucket is the earliest entry.
+// Descending (when, key): back() of a sorted bucket is the earliest entry.
 static constexpr auto kLaterFirst = [](const auto& a, const auto& b) {
   return b.firesBefore(a);
 };
@@ -87,7 +219,7 @@ void Engine::enqueue(QEntry entry) {
   // The cursor may already have scanned past this event's natural bucket
   // (base_ tracks the wheel minimum, and `when >= now_` is all we checked).
   // Clamping keeps ordering correct: within a bucket entries order by
-  // (when, seq), and all later buckets hold strictly later times.
+  // (when, key), and all later buckets hold strictly later times.
   if (idx < base_) idx = base_;
   if (idx < base_ + kNumBuckets) {
     auto& bucket = buckets_[idx & kBucketMask];
@@ -165,18 +297,114 @@ void Engine::extract(bool from_overflow) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Scheduling and cancellation (context-aware)
+// ---------------------------------------------------------------------------
+
+Engine::Prep Engine::beginSchedule(SimTime when) {
+  detail::ExecContext* ctx = detail::t_ctx;
+  if (ctx != nullptr && ctx->eng == this) {
+    if (when < ctx->now) failSchedulePast(when, ctx->now);
+    return Prep{acquireNodeCtx(*ctx), ctx, ctx->cur_shard};
+  }
+  if (when < now_) failSchedulePast(when, now_);
+  return Prep{acquireNode(), nullptr, cur_shard_};
+}
+
+Engine::Prep Engine::beginScheduleOn(ShardId shard, SimTime when) {
+  detail::ExecContext* ctx = detail::t_ctx;
+  if (ctx != nullptr && ctx->eng == this) {
+    if (shard != ctx->cur_shard) {
+      simFail("Engine::atOn: cross-shard scheduling (shard " +
+              std::to_string(shard) + " from shard " +
+              std::to_string(ctx->cur_shard) +
+              ") during a parallel window; use handoff()");
+    }
+    if (when < ctx->now) failSchedulePast(when, ctx->now);
+    return Prep{acquireNodeCtx(*ctx), ctx, shard};
+  }
+  if (when < now_) failSchedulePast(when, now_);
+  return Prep{acquireNode(), nullptr, shard};
+}
+
+EventId Engine::finishSchedule(const Prep& p, SimTime when) {
+  Node& n = node(p.slot);
+  if (p.ctx != nullptr) {
+    ++p.ctx->live_delta;
+    // shard_seq_ is pre-sized by the coordinator and p.shard is owned by
+    // exactly this worker for the whole run, so the draw is race-free and
+    // replays the serial engine's per-shard sequence exactly.
+    const std::uint64_t key =
+        makeKey(p.shard, false, shard_seq_[p.shard]++);
+    heapPush(shard_heaps_[p.shard], QEntry{when, key, p.slot});
+    return EventId{p.slot + 1, n.gen};
+  }
+  ++live_;
+  if (p.shard >= shard_seq_.size()) {
+    shard_seq_.resize(static_cast<std::size_t>(p.shard) + 1, 1);
+  }
+  const std::uint64_t key = makeKey(p.shard, false, shard_seq_[p.shard]++);
+  enqueue(QEntry{when, key, p.slot});
+  return EventId{p.slot + 1, n.gen};
+}
+
+void Engine::handoffImpl(ShardId shard, SimTime when, EventCallback cb) {
+  detail::ExecContext* ctx = detail::t_ctx;
+  if (ctx != nullptr && ctx->eng == this) {
+    if (when < ctx->window_end) {
+      simFail("Engine::handoff: target time " + formatTime(when) +
+              " precedes the next barrier (" + formatTime(ctx->window_end) +
+              "); handoffs must land at or past the barrier");
+    }
+    ctx->staged.push_back(detail::ExecContext::StagedHandoff{
+        shard, when, ctx->now, ctx->cur_key, ctx->handoff_idx++,
+        std::move(cb)});
+    return;
+  }
+  if (when < now_) failSchedulePast(when, now_);
+  const std::uint32_t slot = acquireNode();
+  Node& n = node(slot);
+  n.armed = true;
+  n.shard = shard;
+  n.fn = std::move(cb);
+  ++live_;
+  enqueue(QEntry{when, makeKey(shard, true, handoff_seq_++), slot});
+}
+
 bool Engine::cancel(EventId id) {
   if (!id.valid()) return false;
   const std::uint32_t slot = id.slot - 1;
-  if (slot >= node_count_) return false;
+  if (slot >= node_count_.load(std::memory_order_relaxed)) return false;
   Node& n = node(slot);
   if (!n.armed || n.gen != id.gen) return false;
+  detail::ExecContext* ctx = detail::t_ctx;
+  if (ctx != nullptr && ctx->eng == this) {
+    if (n.shard != ctx->cur_shard) {
+      simFail("Engine::cancel: cross-shard cancel (event on shard " +
+              std::to_string(n.shard) + " from shard " +
+              std::to_string(ctx->cur_shard) + ") during a parallel window");
+    }
+    n.armed = false;  // tombstone, reclaimed lazily by the owning worker
+    n.fn.reset();
+    --ctx->live_delta;
+    ++ctx->cancelled;
+    return true;
+  }
   n.armed = false;  // queue entry becomes a tombstone, reclaimed lazily
   n.fn.reset();
   --live_;
   ++cancelled_;
   return true;
 }
+
+SimTime Engine::nowParallel() const {
+  const detail::ExecContext* ctx = detail::t_ctx;
+  return (ctx != nullptr && ctx->eng == this) ? ctx->now : now_;
+}
+
+// ---------------------------------------------------------------------------
+// Serial execution (the reference implementation)
+// ---------------------------------------------------------------------------
 
 // Fires the event in `entry` (already extracted from the queue).  The
 // callback runs in place: node addresses are stable and the slot is not
@@ -185,6 +413,7 @@ bool Engine::cancel(EventId id) {
 void Engine::fire(const QEntry& entry) {
   now_ = entry.when;
   Node& n = node(entry.slot);
+  cur_shard_ = n.shard;
   n.armed = false;
   --live_;
   ++executed_;
@@ -208,6 +437,7 @@ bool Engine::step() {
   if (!peekNext(entry, from_overflow)) return false;
   extract(from_overflow);
   fire(entry);
+  cur_shard_ = 0;
   return true;
 }
 
@@ -266,6 +496,306 @@ SimTime Engine::run(SimTime until) {
     if (!bucket->empty()) __builtin_prefetch(&node(bucket->back().slot));
     fire(wheel_top);
   }
+  cur_shard_ = 0;
+  if (now_ < until && until != INT64_MAX) now_ = until;
+  return now_;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution: windowed worker pool with barrier merge
+// ---------------------------------------------------------------------------
+
+void Engine::distributeToShards() {
+  std::vector<QEntry> pending;
+  pending.reserve(wheel_count_ + overflow_.size());
+  for (auto& bucket : buckets_) {
+    pending.insert(pending.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  wheel_count_ = 0;
+  sorted_bucket_ = UINT64_MAX;
+  pending.insert(pending.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+
+  std::size_t nshards = 1;
+  for (const QEntry& e : pending) {
+    nshards = std::max(nshards, static_cast<std::size_t>(keyShard(e.key)) + 1);
+  }
+  shard_heaps_.assign(nshards, {});
+  if (shard_seq_.size() < nshards) shard_seq_.resize(nshards, 1);
+  for (const QEntry& e : pending) {
+    heapPush(shard_heaps_[keyShard(e.key)], e);
+  }
+}
+
+void Engine::workerLoop(int w) {
+  detail::ExecContext& ctx = *ctxs_[static_cast<std::size_t>(w)];
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    SimTime wend;
+    {
+      std::unique_lock<std::mutex> lock(par_mu_);
+      par_cv_.wait(lock,
+                   [&] { return par_quit_ || window_gen_ != seen_gen; });
+      if (par_quit_) return;
+      seen_gen = window_gen_;
+      wend = window_end_;
+    }
+    drainWindow(ctx, wend);
+    {
+      std::lock_guard<std::mutex> lock(par_mu_);
+      if (++workers_done_ == static_cast<int>(ctxs_.size())) {
+        par_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Engine::fireCtx(detail::ExecContext& ctx, const QEntry& entry) {
+  ctx.now = entry.when;
+  ctx.cur_shard = keyShard(entry.key);
+  ctx.cur_key = entry.key;
+  ctx.handoff_idx = 0;
+  ctx.trace_idx = 0;
+  if (entry.when > ctx.max_fired) ctx.max_fired = entry.when;
+  Node& n = node(entry.slot);
+  n.armed = false;
+  --ctx.live_delta;
+  ++ctx.executed;
+#if defined(__cpp_exceptions)
+  try {
+    n.fn.invokeAndReset();
+  } catch (...) {
+    n.fn.reset();
+    ++n.gen;
+    ctx.free.push_back(entry.slot);
+    throw;
+  }
+#else
+  n.fn.invokeAndReset();
+#endif
+  ++n.gen;
+  ctx.free.push_back(entry.slot);
+}
+
+void Engine::drainWindow(detail::ExecContext& ctx, SimTime window_end) {
+  detail::ExecContext* prev = detail::t_ctx;
+  detail::t_ctx = &ctx;
+  ctx.window_end = window_end;
+#if defined(__cpp_exceptions)
+  try {
+#endif
+    const std::size_t stride = ctxs_.size();
+    for (std::size_t s = static_cast<std::size_t>(ctx.worker);
+         s < shard_heaps_.size(); s += stride) {
+      auto& heap = shard_heaps_[s];
+      for (;;) {
+        while (!heap.empty() && !node(heap.front().slot).armed) {
+          Node& dead = node(heap.front().slot);
+          ++dead.gen;
+          ctx.free.push_back(heap.front().slot);
+          heapPop(heap);
+          ++ctx.dropped;
+        }
+        if (heap.empty() || heap.front().when >= window_end) break;
+        const QEntry entry = heap.front();
+        heapPop(heap);
+        fireCtx(ctx, entry);
+      }
+    }
+#if defined(__cpp_exceptions)
+  } catch (...) {
+    ctx.error = std::current_exception();
+  }
+#endif
+  detail::t_ctx = prev;
+}
+
+void Engine::mergeWindow() {
+  // Counter deltas first (cheap, order-insensitive).
+  for (auto& cp : ctxs_) {
+    detail::ExecContext& c = *cp;
+    executed_ += c.executed;
+    cancelled_ += c.cancelled;
+    dropped_tombstones_ += c.dropped;
+    live_ = static_cast<std::size_t>(static_cast<std::int64_t>(live_) +
+                                     c.live_delta);
+    if (c.max_fired > now_) now_ = c.max_fired;
+    c.executed = 0;
+    c.cancelled = 0;
+    c.dropped = 0;
+    c.live_delta = 0;
+    c.max_fired = -1;
+  }
+
+  // Cross-shard handoffs, applied in the canonical order of their staging
+  // events — exactly the order the serial engine would have drawn handoff
+  // sequence numbers in.
+  std::vector<detail::ExecContext::StagedHandoff*> staged;
+  for (auto& cp : ctxs_) {
+    for (auto& h : cp->staged) staged.push_back(&h);
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const detail::ExecContext::StagedHandoff* a,
+               const detail::ExecContext::StagedHandoff* b) {
+              if (a->src_when != b->src_when) return a->src_when < b->src_when;
+              if (a->src_key != b->src_key) return a->src_key < b->src_key;
+              return a->idx < b->idx;
+            });
+  for (detail::ExecContext::StagedHandoff* h : staged) {
+    if (static_cast<std::size_t>(h->shard) >= shard_heaps_.size()) {
+      shard_heaps_.resize(static_cast<std::size_t>(h->shard) + 1);
+      shard_seq_.resize(static_cast<std::size_t>(h->shard) + 1, 1);
+    }
+    const std::uint32_t slot = acquireNode();
+    Node& n = node(slot);
+    n.armed = true;
+    n.shard = h->shard;
+    n.fn = std::move(h->cb);
+    ++live_;
+    heapPush(shard_heaps_[h->shard],
+             QEntry{h->when, makeKey(h->shard, true, handoff_seq_++), slot});
+  }
+  for (auto& cp : ctxs_) cp->staged.clear();
+
+  // Deferred trace records, spliced in canonical emission order (the serial
+  // engine appends in execution order, and execution order is the key
+  // order; ties within one event keep their call order via idx).
+  std::vector<detail::ExecContext::DeferredTrace*> traces;
+  for (auto& cp : ctxs_) {
+    for (auto& d : cp->deferred) traces.push_back(&d);
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const detail::ExecContext::DeferredTrace* a,
+               const detail::ExecContext::DeferredTrace* b) {
+              if (a->src_when != b->src_when) return a->src_when < b->src_when;
+              if (a->src_key != b->src_key) return a->src_key < b->src_key;
+              return a->idx < b->idx;
+            });
+  for (detail::ExecContext::DeferredTrace* d : traces) {
+    d->commit(d->trace, d->t, d->category, d->node, std::move(d->message));
+  }
+  for (auto& cp : ctxs_) cp->deferred.clear();
+}
+
+void Engine::finishParallel() {
+  {
+    std::lock_guard<std::mutex> lock(par_mu_);
+    par_quit_ = true;
+    par_cv_.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  // Worker arenas fold back into the shared free list in worker order
+  // (slot ids are not observable, but replays should still be identical).
+  for (auto& cp : ctxs_) {
+    free_.insert(free_.end(), cp->free.begin(), cp->free.end());
+    cp->free.clear();
+  }
+  // Events beyond `until` (and any remaining tombstones) return to the
+  // global calendar so a later run — serial or parallel — continues them.
+  for (auto& heap : shard_heaps_) {
+    for (const QEntry& e : heap) enqueue(e);
+  }
+  shard_heaps_.clear();
+  ctxs_.clear();
+  par_active_ = false;
+  cur_shard_ = 0;
+}
+
+SimTime Engine::run(const ParallelPolicy& policy, SimTime until) {
+  if (policy.threads < 1) {
+    simFail("Engine::run: ParallelPolicy.threads must be >= 1");
+  }
+  if (par_active_ || detail::t_ctx != nullptr) {
+    simFail("Engine::run: nested parallel run");
+  }
+  if (!policy.next_barrier && policy.window <= 0) {
+    simFail("Engine::run: ParallelPolicy.window must be positive");
+  }
+
+  distributeToShards();
+
+  const int nworkers = policy.threads;
+  ctxs_.clear();
+  for (int w = 0; w < nworkers; ++w) {
+    auto ctx = std::make_unique<detail::ExecContext>();
+    ctx->eng = this;
+    ctx->worker = w;
+    ctxs_.push_back(std::move(ctx));
+  }
+  par_quit_ = false;
+  window_gen_ = 0;
+  workers_done_ = 0;
+  par_active_ = true;
+  for (int w = 1; w < nworkers; ++w) {
+    workers_.emplace_back([this, w] { workerLoop(w); });
+  }
+
+#if defined(__cpp_exceptions)
+  try {
+#endif
+    for (;;) {
+      // Earliest pending event across shards (dropping dead heap tops).
+      SimTime tmin = INT64_MAX;
+      bool any = false;
+      for (auto& heap : shard_heaps_) {
+        while (!heap.empty() && !node(heap.front().slot).armed) {
+          releaseNode(heap.front().slot);
+          heapPop(heap);
+          ++dropped_tombstones_;
+        }
+        if (!heap.empty()) {
+          any = true;
+          tmin = std::min(tmin, heap.front().when);
+        }
+      }
+      if (!any || tmin > until) break;
+
+      SimTime wend;
+      if (policy.next_barrier) {
+        wend = policy.next_barrier(tmin);
+        if (wend <= tmin) {
+          simFail("Engine::run: ParallelPolicy.next_barrier must return a "
+                  "time past its argument");
+        }
+      } else {
+        wend = (tmin / policy.window + 1) * policy.window;
+      }
+      if (until != INT64_MAX && wend > until) wend = until + 1;
+
+      {
+        std::lock_guard<std::mutex> lock(par_mu_);
+        ++window_gen_;
+        workers_done_ = 0;
+        window_end_ = wend;
+        par_cv_.notify_all();
+      }
+      // The coordinator doubles as worker 0 (fibers live on shard 0, so
+      // model code with a call stack always runs on the caller's thread).
+      drainWindow(*ctxs_[0], wend);
+      {
+        std::unique_lock<std::mutex> lock(par_mu_);
+        if (++workers_done_ == nworkers) par_cv_.notify_all();
+        par_cv_.wait(lock, [&] { return workers_done_ == nworkers; });
+      }
+#if defined(__cpp_exceptions)
+      for (auto& cp : ctxs_) {
+        if (cp->error) {
+          std::exception_ptr err = std::exchange(cp->error, nullptr);
+          std::rethrow_exception(err);
+        }
+      }
+#endif
+      mergeWindow();
+    }
+#if defined(__cpp_exceptions)
+  } catch (...) {
+    finishParallel();
+    throw;
+  }
+#endif
+  finishParallel();
   if (now_ < until && until != INT64_MAX) now_ = until;
   return now_;
 }

@@ -15,7 +15,7 @@
 //    in a wheel of fixed-width buckets indexed by (when >> kBucketShift);
 //    events beyond the wheel horizon go to an overflow heap and are compared
 //    against the wheel cursor on every pop.  Buckets are plain vectors:
-//    enqueue is push_back, and the bucket is sorted by (when, seq) exactly
+//    enqueue is push_back, and the bucket is sorted by (when, key) exactly
 //    once, when the cursor first reaches it, after which draining is
 //    pop_back.  Late arrivals into the already-sorted current bucket (a
 //    callback scheduling within the same ~2 us window) use a sorted insert.
@@ -27,13 +27,36 @@
 //    disarms the node (and frees its callback) in place, and the disarmed
 //    entry is dropped lazily when the queue walk reaches it (see
 //    droppedTombstones()).
+//
+// Parallel slice execution
+// ------------------------
+//  Every event belongs to a shard (default: shard 0, inherited from the
+//  event that scheduled it).  The canonical execution order is
+//
+//      (when, shard, band, seq)
+//
+//  packed into a single 64-bit key: 16 bits of shard, one "handoff band"
+//  bit, and a 47-bit per-shard sequence number.  The classic run() pops in
+//  exactly that order; run(ParallelPolicy) drains each shard on a worker
+//  pool up to the next global barrier (a slice/microphase boundary) and
+//  merges cross-shard effects at the barrier in the same order — so traces,
+//  stats and RNG streams are byte-identical between the two modes.  Shards
+//  may only interact through handoff(), which targets a time at or past the
+//  next barrier (the conservative-window lookahead the BCS time slice makes
+//  explicit).  The serial path is the reference implementation; the
+//  parallel mode is opt-in per run() call.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -41,6 +64,47 @@
 #include "sim/time.hpp"
 
 namespace bcs::sim {
+
+/// Shard index: the unit of parallelism.  Shard 0 is the default home of
+/// all events (and of the whole BCS control plane); workloads opt into
+/// parallelism by placing per-node event chains on per-node shards.
+using ShardId = std::uint16_t;
+
+/// Opt-in parallel execution mode for Engine::run.  Barriers default to the
+/// multiples of `window` (the BCS time-slice grid); `next_barrier`, when
+/// set, overrides that with an arbitrary monotone schedule (e.g. microphase
+/// boundaries from the strobe program) and must return a time strictly
+/// greater than its argument.
+struct ParallelPolicy {
+  int threads = 2;
+  Duration window = usec(500);
+  std::function<SimTime(SimTime)> next_barrier;
+};
+
+namespace detail {
+
+struct ExecContext;  // per-worker window state; defined in engine.cpp
+
+/// Commit thunk for a trace record deferred during a parallel window (the
+/// engine cannot name sim::Trace: the -fno-exceptions bench smoke compiles
+/// engine.cpp standalone, so the coupling is a function pointer supplied by
+/// trace.cpp).
+using TraceCommitFn = void (*)(void* trace, SimTime t, std::uint8_t category,
+                               int node, std::string&& message);
+
+/// Defers a trace record into the executing worker's buffer.  Returns false
+/// when no parallel window is active on this thread (the caller appends
+/// directly, as in serial mode).
+bool deferTraceRecord(void* trace, TraceCommitFn commit, SimTime t,
+                      std::uint8_t category, int node, std::string&& message);
+
+/// Exec-context baton for fiber switches: a fiber body runs on its own OS
+/// thread, so the waker snapshots its context (currentExecContext) and the
+/// fiber adopts it after every wake (adoptExecContext).  See sim/fiber.cpp.
+void* currentExecContext();
+void adoptExecContext(void* ctx);
+
+}  // namespace detail
 
 /// Handle to a scheduled event; usable to cancel it before it fires.  The
 /// generation check makes stale handles (already fired, cancelled, or whose
@@ -195,39 +259,79 @@ class EventCallback {
 class Engine {
  public:
   Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Current simulated time.
-  SimTime now() const { return now_; }
+  /// Current simulated time.  Inside a parallel window this is the firing
+  /// time of the event executing on the calling worker.
+  SimTime now() const { return par_active_ ? nowParallel() : now_; }
 
-  /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  /// Schedules `fn` to run at absolute time `when` (must be >= now()) on
+  /// the current shard: the shard of the executing event, or shard 0
+  /// outside event context.  All pre-existing code therefore stays on
+  /// shard 0 with behaviour identical to the pre-shard engine.
   template <typename Fn>
   EventId at(SimTime when, Fn&& fn) {
-    if (when < now_) failSchedulePast(when);
-    const std::uint32_t slot = acquireNode();
-    Node& n = node(slot);
+    const Prep p = beginSchedule(when);
+    Node& n = node(p.slot);
     n.armed = true;
+    n.shard = p.shard;
     n.fn.emplace(std::forward<Fn>(fn));
-    ++live_;
-    enqueue(QEntry{when, next_seq_++, slot});
-    return EventId{slot + 1, n.gen};
+    return finishSchedule(p, when);
   }
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
   template <typename Fn>
   EventId after(Duration delay, Fn&& fn) {
     if (delay < 0) failNegativeDelay();
-    return at(now_ + delay, std::forward<Fn>(fn));
+    return at(now() + delay, std::forward<Fn>(fn));
+  }
+
+  /// Schedules onto an explicit shard.  Outside a parallel window any shard
+  /// is valid (setup-time placement of per-node event chains); inside a
+  /// window it must name the executing shard — cross-shard scheduling goes
+  /// through handoff().
+  template <typename Fn>
+  EventId atOn(ShardId shard, SimTime when, Fn&& fn) {
+    const Prep p = beginScheduleOn(shard, when);
+    Node& n = node(p.slot);
+    n.armed = true;
+    n.shard = p.shard;
+    n.fn.emplace(std::forward<Fn>(fn));
+    return finishSchedule(p, when);
+  }
+
+  /// Cross-shard scheduling.  During a parallel window the event is staged
+  /// and applied at the next barrier, so `when` must be at or past that
+  /// barrier (the slice-synchronous lookahead contract; violations fail
+  /// loudly).  In serial mode it enqueues immediately with the same
+  /// ordering key, which is what keeps the two modes byte-identical:
+  /// handoffs order after all shard-native events at equal (when, shard)
+  /// in both modes.  Handoffs are not cancellable (no EventId).
+  template <typename Fn>
+  void handoff(ShardId shard, SimTime when, Fn&& fn) {
+    EventCallback cb;
+    cb.emplace(std::forward<Fn>(fn));
+    handoffImpl(shard, when, std::move(cb));
   }
 
   /// Cancels a pending event in O(1).  Returns true if the event was still
-  /// pending; the queued entry becomes a tombstone dropped lazily.
+  /// pending; the queued entry becomes a tombstone dropped lazily.  During
+  /// a parallel window only same-shard events may be cancelled.
   bool cancel(EventId id);
 
   /// Runs until the queue drains or `until` is reached (whichever first).
   /// Returns the time of the last processed event.
   SimTime run(SimTime until = INT64_MAX);
+
+  /// Runs the same simulation on a worker pool: per-shard queues drain
+  /// concurrently up to each global barrier, then cross-shard effects merge
+  /// in canonical (when, shard, band, seq) order.  Byte-identical to the
+  /// serial run() for workloads honouring the shard contract (shards
+  /// interact only via handoff()).  The calling thread doubles as worker 0,
+  /// so fibers (all shard 0) always execute on the caller's thread.
+  SimTime run(const ParallelPolicy& policy, SimTime until = INT64_MAX);
 
   /// Runs exactly one event if available.  Returns false if the queue is
   /// empty.  Useful for fine-grained unit tests of the engine itself.
@@ -241,6 +345,8 @@ class Engine {
 
   /// Cancelled entries physically reclaimed from the queue so far; together
   /// with cancelledEvents() this makes cancellation overhead observable.
+  /// Reclamation timing is a queue-internal detail and is the one counter
+  /// *not* covered by the serial≡parallel identity guarantee.
   std::uint64_t droppedTombstones() const { return dropped_tombstones_; }
 
   /// Total successful cancel() calls since construction.
@@ -256,7 +362,7 @@ class Engine {
   }
 
  private:
-  /// Pooled event node.  The ordering key (when, seq) lives only in the
+  /// Pooled event node.  The ordering key (when, key) lives only in the
   /// queue entry; the node carries just the callback and handle state, so a
   /// node is exactly one cache line.  Nodes live in fixed-size chunks whose
   /// addresses never move, which lets run() invoke a callback in place (no
@@ -264,6 +370,7 @@ class Engine {
   struct Node {
     EventCallback fn;
     std::uint32_t gen = 0;
+    ShardId shard = 0;
     bool armed = false;
   };
   static_assert(sizeof(Node) <= 64, "event node should stay one cache line");
@@ -271,6 +378,10 @@ class Engine {
   static constexpr std::uint32_t kChunkShift = 10;  // 1024 nodes per chunk
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
   static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+  /// Upper bound on pool chunks (4M nodes).  chunks_ reserves this up
+  /// front so its data pointer never moves: workers index into it while
+  /// another worker appends a chunk under chunk_mu_.
+  static constexpr std::size_t kMaxChunks = 4096;
 
   // 2^11 ns (~2 us) buckets; 2048 of them give an ~4.2 ms horizon, over 8
   // default time slices.  Anything further lands in the overflow heap.
@@ -283,24 +394,39 @@ class Engine {
 
   /// Queue entry: the ordering key is carried alongside the slot index so
   /// sorting and heap sifts stay inside the (hot, contiguous) queue arrays
-  /// and never chase into the node pool.
+  /// and never chase into the node pool.  `key` packs
+  /// (shard, handoff band, per-shard seq) — see the header comment — so a
+  /// single integer compare realizes the canonical total order; shard-0
+  /// native events have key == seq, the pre-shard ordering.
   struct QEntry {
     SimTime when;
-    std::uint64_t seq;
+    std::uint64_t key;
     std::uint32_t slot;
     bool firesBefore(const QEntry& o) const {
-      return when != o.when ? when < o.when : seq < o.seq;
+      return when != o.when ? when < o.when : key < o.key;
     }
   };
 
-  [[noreturn]] void failSchedulePast(SimTime when) const;
+  struct Prep {
+    std::uint32_t slot;
+    detail::ExecContext* ctx;  ///< non-null inside a parallel window
+    ShardId shard;
+  };
+
+  [[noreturn]] void failSchedulePast(SimTime when, SimTime now) const;
   [[noreturn]] static void failNegativeDelay();
 
   Node& node(std::uint32_t slot) {
     return chunks_[slot >> kChunkShift][slot & kChunkMask];
   }
   std::uint32_t acquireNode();
+  std::uint32_t acquireNodeCtx(detail::ExecContext& ctx);
   void releaseNode(std::uint32_t slot);
+  Prep beginSchedule(SimTime when);
+  Prep beginScheduleOn(ShardId shard, SimTime when);
+  EventId finishSchedule(const Prep& p, SimTime when);
+  void handoffImpl(ShardId shard, SimTime when, EventCallback cb);
+  SimTime nowParallel() const;
   void enqueue(QEntry entry);
   /// Locates the earliest live event without removing it, dropping any
   /// tombstones in the way.  Returns false when no live event remains.
@@ -310,16 +436,35 @@ class Engine {
   static void heapPush(std::vector<QEntry>& heap, QEntry entry);
   static void heapPop(std::vector<QEntry>& heap);
 
+  // ----- parallel driver (engine.cpp) -----
+  void distributeToShards();
+  void workerLoop(int w);
+  void drainWindow(detail::ExecContext& ctx, SimTime window_end);
+  void fireCtx(detail::ExecContext& ctx, const QEntry& entry);
+  void mergeWindow();
+  void finishParallel();
+
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t dropped_tombstones_ = 0;
   std::size_t live_ = 0;
 
+  /// Per-shard sequence counters for native (band-0) events, plus the
+  /// global counter for handoff (band-1) events.  Within a shard both
+  /// modes draw in the shard's execution order; handoffs draw in global
+  /// canonical order (serially at call sites, at the barrier in parallel),
+  /// which is the same sequence — the core of the identity argument.
+  std::vector<std::uint64_t> shard_seq_;
+  std::uint64_t handoff_seq_ = 1;
+  ShardId cur_shard_ = 0;  ///< shard of the event firing in serial mode
+
   std::vector<std::unique_ptr<Node[]>> chunks_;  ///< stable pooled nodes
-  std::uint32_t node_count_ = 0;     ///< slots handed out so far
+  /// Slots handed out so far.  Atomic only for the relaxed bounds check in
+  /// cancel(): growth is single-threaded (serial) or under chunk_mu_.
+  std::atomic<std::uint32_t> node_count_{0};
   std::vector<std::uint32_t> free_;  ///< reusable slots, LIFO
+  std::mutex chunk_mu_;  ///< guards chunk growth during parallel windows
 
   std::uint64_t base_ = 0;  ///< absolute bucket index of the wheel cursor
   /// Absolute index of the bucket sorted for draining (only ever the one at
@@ -328,9 +473,21 @@ class Engine {
   std::uint64_t sorted_bucket_ = UINT64_MAX;
   std::size_t wheel_count_ = 0;  ///< entries in the wheel (incl. tombstones)
   /// Per-bucket entry lists; the bucket at sorted_bucket_ is sorted
-  /// descending by (when, seq) so back() is the earliest entry.
+  /// descending by (when, key) so back() is the earliest entry.
   std::vector<std::vector<QEntry>> buckets_;
   std::vector<QEntry> overflow_;  ///< beyond-horizon min-heap
+
+  // ----- parallel-run state (live only inside run(ParallelPolicy)) -----
+  bool par_active_ = false;
+  std::vector<std::vector<QEntry>> shard_heaps_;  ///< per-shard min-heaps
+  std::vector<std::unique_ptr<detail::ExecContext>> ctxs_;
+  std::vector<std::thread> workers_;
+  std::mutex par_mu_;
+  std::condition_variable par_cv_;
+  std::uint64_t window_gen_ = 0;  ///< bumped per window; workers wait on it
+  int workers_done_ = 0;
+  SimTime window_end_ = 0;
+  bool par_quit_ = false;
 };
 
 }  // namespace bcs::sim

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/engine.hpp"
+
 namespace bcs::sim {
 
 Fiber::Fiber(std::function<void()> body) : body_(std::move(body)) {}
@@ -13,6 +15,7 @@ Fiber::~Fiber() {
     if (!finished_) {
       // Ask the fiber to unwind: next yield() observes kill_ and throws.
       kill_ = true;
+      resume_ctx_ = detail::currentExecContext();
       turn_ = Turn::kFiber;
       cv_.notify_all();
       cv_.wait(lock, [this] { return turn_ == Turn::kEngine; });
@@ -24,6 +27,7 @@ Fiber::~Fiber() {
 void Fiber::resume() {
   std::unique_lock<std::mutex> lock(mu_);
   if (finished_) return;
+  resume_ctx_ = detail::currentExecContext();
   if (!started_) {
     started_ = true;
     thread_ = std::thread([this] { threadMain(); });
@@ -33,6 +37,7 @@ void Fiber::resume() {
   cv_.wait(lock, [this] { return turn_ == Turn::kEngine; });
   if (error_) {
     std::exception_ptr err = std::exchange(error_, nullptr);
+    lock.unlock();  // don't hold mu_ through an arbitrary handler
     std::rethrow_exception(err);
   }
 }
@@ -42,27 +47,42 @@ void Fiber::yield() {
   turn_ = Turn::kEngine;
   cv_.notify_all();
   cv_.wait(lock, [this] { return turn_ == Turn::kFiber; });
+  // Pick up the waker's engine context (it may be a different parallel
+  // worker — or none — each time) before running any model code.
+  detail::adoptExecContext(resume_ctx_);
   if (kill_) throw FiberKilled{};
 }
 
 void Fiber::threadMain() {
+  bool run_body;
   {
     // Wait for the first resume()'s baton (resume() sets turn_ before the
-    // thread starts, so this usually falls straight through).
+    // thread starts, so this usually falls straight through).  kill_ is
+    // read under the same lock: the destructor may have raced resume() and
+    // requested an immediate unwind.
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return turn_ == Turn::kFiber; });
+    detail::adoptExecContext(resume_ctx_);
+    run_body = !kill_;
   }
+  std::exception_ptr error;
   try {
-    if (!kill_) body_();
+    if (run_body) body_();
   } catch (const FiberKilled&) {
     // Normal forced unwind; not an error.
   } catch (...) {
-    error_ = std::current_exception();
+    error = std::current_exception();
   }
   std::unique_lock<std::mutex> lock(mu_);
+  error_ = error;
   finished_ = true;
   turn_ = Turn::kEngine;
   cv_.notify_all();
+}
+
+bool Fiber::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
 }
 
 }  // namespace bcs::sim

@@ -14,6 +14,12 @@
 // yield() (typically via Process::block()) or returns; control then returns
 // to the engine.  A fiber destroyed before finishing is unwound by throwing
 // FiberKilled through its stack.
+//
+// All shared flags (started_/finished_/kill_/error_/turn_ and the parallel
+// exec-context baton) live under mu_ for their whole lifecycle: the baton
+// handoff guarantees mutual exclusion *between* waits, but every read or
+// write of the flags themselves is lock-protected so the wake/join path is
+// race-free under ThreadSanitizer too.
 
 #include <exception>
 #include <functional>
@@ -48,7 +54,7 @@ class Fiber {
   void yield();
 
   /// True once the body has returned (or was unwound).
-  bool finished() const { return finished_; }
+  bool finished() const;
 
  private:
   enum class Turn { kEngine, kFiber };
@@ -64,6 +70,12 @@ class Fiber {
   bool finished_ = false;
   bool kill_ = false;
   std::exception_ptr error_;
+  /// Exec-context baton: the fiber body runs on its own OS thread, which
+  /// has no engine worker context of its own.  Every waker (resume() or the
+  /// destructor's kill path) snapshots its context here under mu_, and the
+  /// fiber adopts it on wake — so code running on the fiber schedules and
+  /// traces exactly as if it ran inline in the waking event.
+  void* resume_ctx_ = nullptr;
 };
 
 }  // namespace bcs::sim

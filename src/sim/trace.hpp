@@ -49,6 +49,11 @@ class Trace {
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  /// Records one entry.  Inside a parallel engine window (see
+  /// Engine::run(ParallelPolicy)) the record is deferred into the worker's
+  /// buffer and spliced into records_ at the next barrier in canonical
+  /// event order, so the final record stream is byte-identical to a serial
+  /// run.  The stderr echo, when enabled, happens at commit time.
   void record(SimTime t, TraceCategory cat, int node, std::string msg);
 
   const std::vector<TraceRecord>& records() const { return records_; }
@@ -61,6 +66,12 @@ class Trace {
   std::string dump() const;
 
  private:
+  /// Commit thunk handed to the engine's deferral hook (type-erased so the
+  /// engine translation unit never names Trace; see detail::TraceCommitFn).
+  static void commitThunk(void* trace, SimTime t, std::uint8_t category,
+                          int node, std::string&& msg);
+  void append(SimTime t, TraceCategory cat, int node, std::string&& msg);
+
   bool enabled_ = false;
   bool echo_ = false;
   std::vector<TraceRecord> records_;

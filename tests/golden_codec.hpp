@@ -1,0 +1,156 @@
+#pragma once
+
+// Tiny deterministic LZSS codec for the golden-trace corpus.
+//
+// Trace dumps are extremely repetitive text (a few hundred distinct line
+// shapes), so a 64 KiB sliding window with greedy hash-chain matching gets
+// 15-30x on them — enough to keep multi-megabyte reference traces as
+// small checked-in files — while staying ~100 lines of dependency-free
+// C++ whose output is bit-stable across platforms (a requirement: the
+// corpus is diffed byte-for-byte, so the *compressor* must be as
+// deterministic as the traces it stores).
+//
+// Format:  "BCSG1" magic, u64 LE raw size, then token groups: one flag
+// byte (LSB first; 0 = literal, 1 = match) followed by 8 tokens — a
+// literal byte, or a match of (u16 LE backward offset >= 1, u8 length-3)
+// covering lengths 3..258.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bcs::golden {
+
+constexpr char kMagic[5] = {'B', 'C', 'S', 'G', '1'};
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+constexpr int kMaxProbes = 64;  ///< hash-chain depth bound
+
+inline std::vector<std::uint8_t> compress(const std::string& raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() / 4 + 16);
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(raw.size() >> (8 * i)));
+  }
+
+  constexpr std::size_t kHashSize = 1u << 15;
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(raw.size(), -1);
+  auto hash3 = [&raw](std::size_t i) {
+    const std::uint32_t h = static_cast<std::uint8_t>(raw[i]) |
+                            (static_cast<std::uint8_t>(raw[i + 1]) << 8) |
+                            (static_cast<std::uint8_t>(raw[i + 2]) << 16);
+    return (h * 2654435761u) >> 17;  // Knuth multiplicative, 15 bits
+  };
+  auto insert = [&](std::size_t i) {
+    if (i + kMinMatch > raw.size()) return;
+    const std::uint32_t h = hash3(i);
+    prev[i] = head[h];
+    head[h] = static_cast<std::int64_t>(i);
+  };
+
+  std::size_t flag_at = 0;
+  int flag_bits = 8;  // force a fresh flag byte on the first token
+  auto beginToken = [&](bool is_match) {
+    if (flag_bits == 8) {
+      flag_at = out.size();
+      out.push_back(0);
+      flag_bits = 0;
+    }
+    if (is_match) out[flag_at] |= static_cast<std::uint8_t>(1u << flag_bits);
+    ++flag_bits;
+  };
+
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    std::size_t best_len = 0, best_off = 0;
+    if (i + kMinMatch <= raw.size()) {
+      std::int64_t cand = head[hash3(i)];
+      const std::size_t limit = std::min(kMaxMatch, raw.size() - i);
+      for (int probes = 0; cand >= 0 && probes < kMaxProbes;
+           cand = prev[static_cast<std::size_t>(cand)], ++probes) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        if (i - c > kWindow) break;  // chains are position-ordered
+        std::size_t len = 0;
+        while (len < limit && raw[c + len] == raw[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - c;
+          if (len == limit) break;
+        }
+      }
+    }
+    if (best_len >= kMinMatch) {
+      beginToken(true);
+      out.push_back(static_cast<std::uint8_t>(best_off));
+      out.push_back(static_cast<std::uint8_t>(best_off >> 8));
+      out.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      for (std::size_t k = 0; k < best_len; ++k) insert(i + k);
+      i += best_len;
+    } else {
+      beginToken(false);
+      out.push_back(static_cast<std::uint8_t>(raw[i]));
+      insert(i);
+      ++i;
+    }
+  }
+  return out;
+}
+
+inline std::string decompress(const std::vector<std::uint8_t>& blob) {
+  std::size_t p = 0;
+  auto need = [&](std::size_t n) {
+    if (p + n > blob.size()) {
+      throw std::runtime_error("golden codec: truncated stream");
+    }
+  };
+  need(sizeof(kMagic) + 8);
+  for (char c : kMagic) {
+    if (static_cast<char>(blob[p++]) != c) {
+      throw std::runtime_error("golden codec: bad magic");
+    }
+  }
+  std::uint64_t raw_size = 0;
+  for (int i = 0; i < 8; ++i) {
+    raw_size |= static_cast<std::uint64_t>(blob[p++]) << (8 * i);
+  }
+
+  std::string out;
+  out.reserve(raw_size);
+  std::uint8_t flags = 0;
+  int flag_bits = 8;
+  while (out.size() < raw_size) {
+    if (flag_bits == 8) {
+      need(1);
+      flags = blob[p++];
+      flag_bits = 0;
+    }
+    const bool is_match = (flags >> flag_bits) & 1;
+    ++flag_bits;
+    if (is_match) {
+      need(3);
+      const std::size_t off = blob[p] | (static_cast<std::size_t>(blob[p + 1]) << 8);
+      const std::size_t len = static_cast<std::size_t>(blob[p + 2]) + kMinMatch;
+      p += 3;
+      if (off == 0 || off > out.size()) {
+        throw std::runtime_error("golden codec: bad match offset");
+      }
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[out.size() - off]);  // may overlap; byte-by-byte
+      }
+    } else {
+      need(1);
+      out.push_back(static_cast<char>(blob[p++]));
+    }
+  }
+  if (out.size() != raw_size) {
+    throw std::runtime_error("golden codec: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace bcs::golden

@@ -1,0 +1,62 @@
+// Golden-trace corpus (re)generator.
+//
+//   $ golden_gen <output-dir>          # write <name>.trace.bcsz per scenario
+//   $ golden_gen --dump <file.bcsz>    # decompress a corpus file to stdout
+//
+// Normally driven by tools/regen_golden.py.  Regenerating is the ONLY
+// sanctioned way to update tests/golden/ — and only after convincing
+// yourself the schedule change behind a diff is intended.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "golden_codec.hpp"
+#include "golden_scenarios.hpp"
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--dump") == 0) {
+    std::ifstream in(argv[2], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+    const std::string raw = bcs::golden::decompress(blob);
+    std::fwrite(raw.data(), 1, raw.size(), stdout);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir> | --dump <file.bcsz>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::string outdir = argv[1];
+  for (const auto& sc : bcs::golden::kScenarios) {
+    const std::string raw = sc.generate();
+    const std::vector<std::uint8_t> blob = bcs::golden::compress(raw);
+    // Round-trip before trusting the artifact.
+    if (bcs::golden::decompress(blob) != raw) {
+      std::fprintf(stderr, "%s: codec round-trip failed\n", sc.name);
+      return 1;
+    }
+    const std::string path = outdir + "/" + sc.name + ".trace.bcsz";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    std::printf("%-18s %9zu raw -> %8zu compressed (%.1fx)\n", sc.name,
+                raw.size(), blob.size(),
+                blob.empty() ? 0.0
+                             : static_cast<double>(raw.size()) /
+                                   static_cast<double>(blob.size()));
+  }
+  return 0;
+}

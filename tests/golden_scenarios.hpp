@@ -1,0 +1,151 @@
+#pragma once
+
+// The golden-trace scenario set: three representative workloads whose full
+// trace dumps are pinned byte-for-byte under tests/golden/.
+//
+// Any engine change that perturbs event schedules — ordering keys, queue
+// mechanics, fabric timing, runtime strobing — shows up as a golden diff,
+// serial or parallel alike (the conformance tier already pins
+// serial ≡ parallel, so the corpus only needs to pin the serial dump).
+//
+// Shared between golden_gen (the regenerator, see tools/regen_golden.py)
+// and test_golden (the replayer) so the two can never drift apart.
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/wavefront.hpp"
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+
+namespace bcs::golden {
+
+/// The quickstart example (examples/quickstart.cpp) with tracing on: 8
+/// nodes, 16 ranks, five halo-exchange + allreduce steps.
+inline std::string traceQuickstart() {
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = 8;
+  net::Cluster cluster(machine);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig mpi_cfg;
+  mpi_cfg.runtime_init_overhead = sim::msec(1);
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, mpi_cfg);
+
+  const std::vector<int> node_of_rank = {0, 0, 1, 1, 2, 2, 3, 3,
+                                         4, 4, 5, 5, 6, 6, 7, 7};
+  bcsmpi::launchJob(*runtime, node_of_rank, [](mpi::Comm& comm) {
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    const int right = (comm.rank() + 1) % comm.size();
+    std::vector<double> halo_out(512, comm.rank() * 1.0), halo_in(512);
+    double residual = 1.0;
+    for (int step = 0; step < 5 && residual > 1e-9; ++step) {
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.irecvv<double>(halo_in, left, step));
+      reqs.push_back(comm.isendv<double>(
+          std::span<const double>(halo_out), right, step));
+      comm.compute(sim::msec(2));
+      comm.waitall(reqs);
+      residual = comm.allreduceOne(halo_in[0] / (step + 1.0),
+                                   mpi::ReduceOp::kMax);
+    }
+  });
+  cluster.run();
+  return cluster.trace().dump();
+}
+
+/// The collectives tour (examples/collectives_tour.cpp) with tracing on:
+/// barrier, rooted bcast, NIC-side reduce/allreduce, allgather, alltoall
+/// and a raw BCS-API barrier on 6 nodes.
+inline std::string traceCollectivesTour() {
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = 6;
+  net::Cluster cluster(machine);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(100);
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  bcsmpi::launchJob(*runtime, {0, 1, 2, 3, 4, 5}, [](mpi::Comm& comm) {
+    const int r = comm.rank();
+    const int P = comm.size();
+
+    comm.compute(sim::msec(r));
+    comm.barrier();
+
+    std::vector<int> table(8);
+    if (r == 2) std::iota(table.begin(), table.end(), 100);
+    comm.bcast(table.data(), table.size() * sizeof(int), /*root=*/2);
+
+    const double mine = 0.1 * (r + 1);
+    double sum = 0;
+    comm.reduce(&mine, &sum, 1, mpi::Datatype::kFloat64, mpi::ReduceOp::kSum,
+                /*root=*/0);
+    (void)comm.allreduceOne(mine, mpi::ReduceOp::kMax);
+
+    std::vector<std::int32_t> mine_sq{static_cast<std::int32_t>(r * r)};
+    std::vector<std::int32_t> squares(static_cast<std::size_t>(P));
+    comm.allgather(mine_sq.data(), sizeof(std::int32_t), squares.data());
+
+    std::vector<std::int32_t> to_all(static_cast<std::size_t>(P)),
+        from_all(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      to_all[static_cast<std::size_t>(d)] = 10 * r + d;
+    }
+    comm.alltoall(to_all.data(), sizeof(std::int32_t), from_all.data());
+
+    auto& api = static_cast<bcsmpi::BcsComm&>(comm).api();
+    api.barrier();
+  });
+  cluster.run();
+  return cluster.trace().dump();
+}
+
+/// A compact Sweep3D wavefront (src/apps/wavefront.hpp) with tracing on:
+/// 8 ranks, two source-iteration steps of two sweeps each, non-blocking
+/// flavour (the paper's rewrite), scaled-down compute so the trace stays
+/// a corpus-sized artifact rather than a multi-second run.
+inline std::string traceSweep3d() {
+  const int P = 8;
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = P;
+  net::Cluster cluster(machine);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(200);
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  bcsmpi::launchJob(*runtime, map, [](mpi::Comm& comm) {
+    apps::Sweep3dConfig scfg;
+    scfg.time_steps = 2;
+    scfg.sweeps_per_step = 2;
+    scfg.blocks = 4;
+    scfg.step_compute = sim::usec(300);
+    scfg.message_bytes = 2048;
+    scfg.blocking = false;
+    (void)apps::sweep3d(comm, scfg);
+  });
+  cluster.run();
+  return cluster.trace().dump();
+}
+
+struct Scenario {
+  const char* name;
+  std::string (*generate)();
+};
+
+inline const Scenario kScenarios[] = {
+    {"quickstart", &traceQuickstart},
+    {"collectives_tour", &traceCollectivesTour},
+    {"sweep3d", &traceSweep3d},
+};
+
+}  // namespace bcs::golden

@@ -1,0 +1,575 @@
+// Parallel slice execution conformance tier (ctest label: par).
+//
+// The contract under test: Engine::run(ParallelPolicy) is byte-identical to
+// the serial reference engine — traces, stats and RNG streams — for any
+// workload honouring the shard contract (shards interact only through
+// handoff(), which lands at or past the next barrier).  The tier pins that
+// claim four ways:
+//   * a synthetic multi-shard workload (per-shard RNG streams, cross-shard
+//     handoffs, in-window cancellation) at thread counts {1, 2, 4, 7};
+//   * sharded fabric traffic (Fabric::setShardMap cross-shard deliveries);
+//   * the full BCS runtime on the three heavyweight scenarios — the 32-node
+//     fault soup, the Strobe-Sender-crash failover run, and a verifier-on
+//     clean run — all of whose events live on shard 0, which must make the
+//     parallel mode degenerate to exact serial behaviour;
+//   * loud failure of every shard-contract violation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "storm/storm.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::msec;
+using sim::SimTime;
+using sim::usec;
+
+const int kThreadCounts[] = {1, 2, 4, 7};
+
+bcsmpi::BcsMpiConfig quickCfg() {
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic multi-shard workload: per-shard chains + RNG + cancels + handoffs
+// ---------------------------------------------------------------------------
+
+struct EngineOut {
+  std::string trace;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<std::uint64_t> acc;  ///< per-shard RNG digests
+  SimTime end = 0;
+
+  bool operator==(const EngineOut&) const = default;
+};
+
+/// Five shards, each running a 40-round event chain: every round draws from
+/// the shard's own RNG stream, records a trace line, schedules the next
+/// round at a jittered offset, arms a far-future timer and cancels the
+/// previous one (exercising tombstones), and every 4th round hands a
+/// message off to the next shard at the following 500 us barrier.
+EngineOut runShardedChains(const sim::ParallelPolicy* policy) {
+  constexpr int kShards = 5;
+  constexpr int kRounds = 40;
+
+  auto eng = std::make_shared<sim::Engine>();
+  auto trace = std::make_shared<sim::Trace>();
+  trace->enable();
+
+  struct ShardState {
+    sim::Rng rng{0};
+    std::uint64_t acc = 0;
+    sim::EventId timer;
+  };
+  auto st = std::make_shared<std::vector<ShardState>>(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    (*st)[static_cast<std::size_t>(s)].rng.reseed(
+        sim::deriveShardSeed(2026, static_cast<std::uint16_t>(s)));
+  }
+
+  auto step = std::make_shared<std::function<void(int, int)>>();
+  // Recurse through a raw pointer: capturing the shared_ptr here would make
+  // the function own itself and leak the whole capture set.  `step` outlives
+  // the run below, so the pointer stays valid for every pending event.
+  auto* stepp = step.get();
+  *step = [eng, trace, st, stepp](int s, int round) {
+    ShardState& me = (*st)[static_cast<std::size_t>(s)];
+    const std::uint64_t draw = me.rng();
+    me.acc ^= draw + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(round);
+    trace->record(eng->now(), sim::TraceCategory::kApp, s,
+                  "shard " + std::to_string(s) + " round " +
+                      std::to_string(round) + " draw " +
+                      std::to_string(draw & 0xFFFF));
+
+    // Replace the shard's retransmit-style timer: cancel the old one (a
+    // same-shard cancel, always legal) and arm a new one two slices out.
+    eng->cancel(me.timer);
+    me.timer = eng->at(eng->now() + usec(1000),
+                       [trace, eng, s] {
+                         trace->record(eng->now(), sim::TraceCategory::kApp, s,
+                                       "timer fired on shard " +
+                                           std::to_string(s));
+                       });
+
+    if (round % 4 == 0) {
+      // Cross-shard message to the neighbour, landing past the next global
+      // barrier (the 500 us grid) — the only legal inter-shard channel.
+      const int peer = (s + 1) % kShards;
+      const SimTime barrier = (eng->now() / usec(500) + 1) * usec(500);
+      eng->handoff(static_cast<sim::ShardId>(peer),
+                   barrier + static_cast<SimTime>(draw % 128),
+                   [trace, eng, s, peer, round] {
+                     trace->record(eng->now(), sim::TraceCategory::kApp, peer,
+                                   "handoff from shard " + std::to_string(s) +
+                                       " round " + std::to_string(round));
+                   });
+    }
+    if (round + 1 < kRounds) {
+      eng->at(eng->now() + usec(20) + static_cast<SimTime>(draw % 100),
+              [stepp, s, round] { (*stepp)(s, round + 1); });
+    }
+  };
+
+  for (int s = 0; s < kShards; ++s) {
+    eng->atOn(static_cast<sim::ShardId>(s), usec(3) * s,
+              [step, s] { (*step)(s, 0); });
+  }
+
+  EngineOut out;
+  out.end = policy ? eng->run(*policy) : eng->run();
+  out.trace = trace->dump();
+  out.executed = eng->executedEvents();
+  out.cancelled = eng->cancelledEvents();
+  for (int s = 0; s < kShards; ++s) {
+    out.acc.push_back((*st)[static_cast<std::size_t>(s)].acc);
+  }
+  return out;
+}
+
+TEST(ParallelEngine, ShardedChainsMatchSerialAtAllThreadCounts) {
+  const EngineOut ref = runShardedChains(nullptr);
+  ASSERT_FALSE(ref.trace.empty());
+  ASSERT_GT(ref.executed, 200u);
+  ASSERT_GT(ref.cancelled, 0u);
+  for (int threads : kThreadCounts) {
+    sim::ParallelPolicy policy;
+    policy.threads = threads;
+    const EngineOut par = runShardedChains(&policy);
+    EXPECT_EQ(par, ref) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngine, CustomBarrierScheduleMatchesSerial) {
+  const EngineOut ref = runShardedChains(nullptr);
+  sim::ParallelPolicy policy;
+  policy.threads = 4;
+  // A finer, non-uniform barrier grid (250 us) must not change anything:
+  // barriers are merge points, not events.
+  policy.next_barrier = [](SimTime t) { return (t / usec(250) + 1) * usec(250); };
+  EXPECT_EQ(runShardedChains(&policy), ref);
+}
+
+TEST(ParallelEngine, BoundedRunsResumeIdentically) {
+  // Chop one run into three bounded segments, mixing serial and parallel
+  // drains of the *same* engine state; the result must still match the
+  // one-shot serial run.  (runShardedChains drives a fresh engine, so here
+  // we just re-run it with bounded horizons.)
+  constexpr int kShards = 3;
+  auto build = [](sim::Engine& eng, sim::Trace& trace) {
+    auto step = std::make_shared<std::function<void(int, int)>>();
+    // `step` dies when build() returns, so here the *event* lambdas own the
+    // function; the function itself holds only a weak self-reference (a
+    // shared one would be a cycle and leak the capture set).
+    std::weak_ptr<std::function<void(int, int)>> wstep = step;
+    *step = [&eng, &trace, wstep](int s, int round) {
+      trace.record(eng.now(), sim::TraceCategory::kApp, s,
+                   "tick " + std::to_string(round));
+      if (round + 1 < 30) {
+        auto self = wstep.lock();
+        eng.at(eng.now() + usec(37),
+               [self, s, round] { (*self)(s, round + 1); });
+      }
+    };
+    for (int s = 0; s < kShards; ++s) {
+      eng.atOn(static_cast<sim::ShardId>(s), usec(s),
+               [step, s] { (*step)(s, 0); });
+    }
+  };
+
+  sim::Engine serial;
+  sim::Trace serial_trace;
+  serial_trace.enable();
+  build(serial, serial_trace);
+  serial.run();
+
+  sim::Engine mixed;
+  sim::Trace mixed_trace;
+  mixed_trace.enable();
+  build(mixed, mixed_trace);
+  sim::ParallelPolicy policy;
+  policy.threads = 3;
+  mixed.run(policy, usec(300));
+  mixed.run(usec(700));  // serial middle segment
+  mixed.run(policy);
+  EXPECT_EQ(mixed_trace.dump(), serial_trace.dump());
+  EXPECT_EQ(mixed.executedEvents(), serial.executedEvents());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded fabric traffic: cross-shard deliveries via Engine::handoff
+// ---------------------------------------------------------------------------
+
+struct TrafficOut {
+  std::string trace;
+  std::uint64_t unicasts = 0;
+  std::uint64_t executed = 0;
+  std::vector<int> received;
+  SimTime end = 0;
+
+  bool operator==(const TrafficOut&) const = default;
+};
+
+/// Eight nodes, each on its own shard, each streaming 12 unicasts to its
+/// ring neighbour; the next send is triggered by egress-free (shard-local),
+/// delivery lands on the destination's shard via handoff.  The 1 us window
+/// is below QsNet's minimum end-to-end latency, so every delivery clears
+/// the conservative-window contract.
+TrafficOut runShardedTraffic(const sim::ParallelPolicy* policy) {
+  constexpr int K = 8;
+  constexpr int kRounds = 12;
+
+  auto eng = std::make_shared<sim::Engine>();
+  auto trace = std::make_shared<sim::Trace>();
+  trace->enable();
+  auto fabric = std::make_shared<net::Fabric>(
+      *eng, net::NetworkParams::qsnet(), K, trace.get());
+  std::vector<sim::ShardId> map(K);
+  for (int n = 0; n < K; ++n) map[static_cast<std::size_t>(n)] = static_cast<sim::ShardId>(n);
+  fabric->setShardMap(map);
+
+  auto received = std::make_shared<std::vector<int>>(K, 0);
+  auto send = std::make_shared<std::function<void(int, int)>>();
+  auto* sendp = send.get();  // raw self-reference, see runShardedChains
+  *send = [fabric, trace, eng, received, sendp](int n, int round) {
+    if (round == kRounds) return;
+    const int dst = (n + 1) % K;
+    fabric->unicast(
+        n, dst, 256 + 64 * static_cast<std::size_t>(n),
+        /*on_delivered=*/[trace, eng, received, dst, n, round] {
+          ++(*received)[static_cast<std::size_t>(dst)];
+          trace->record(eng->now(), sim::TraceCategory::kApp, dst,
+                        "got round " + std::to_string(round) + " from n" +
+                            std::to_string(n));
+        },
+        /*on_injected=*/[sendp, n, round] { (*sendp)(n, round + 1); });
+  };
+  for (int n = 0; n < K; ++n) {
+    eng->atOn(static_cast<sim::ShardId>(n), usec(n), [send, n] { (*send)(n, 0); });
+  }
+
+  TrafficOut out;
+  out.end = policy ? eng->run(*policy) : eng->run();
+  out.trace = trace->dump();
+  out.unicasts = fabric->stats().unicasts;
+  out.executed = eng->executedEvents();
+  out.received = *received;
+  return out;
+}
+
+TEST(ParallelEngine, ShardedFabricTrafficMatchesSerial) {
+  const TrafficOut ref = runShardedTraffic(nullptr);
+  ASSERT_EQ(ref.unicasts, 8u * 12u);
+  for (int got : ref.received) EXPECT_EQ(got, 12);
+  for (int threads : kThreadCounts) {
+    sim::ParallelPolicy policy;
+    policy.threads = threads;
+    policy.window = usec(1);  // <= min QsNet latency: lookahead is safe
+    const TrafficOut par = runShardedTraffic(&policy);
+    EXPECT_EQ(par, ref) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-contract violations fail loudly
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngine, HandoffShortOfTheBarrierThrows) {
+  sim::Engine eng;
+  eng.atOn(1, usec(10), [&eng] {
+    // The next 500 us barrier is at 500 us; targeting now+1 lands inside
+    // this same window and must be rejected.
+    eng.handoff(0, eng.now() + 1, [] {});
+  });
+  sim::ParallelPolicy policy;
+  policy.threads = 2;
+  EXPECT_THROW(eng.run(policy), sim::SimError);
+}
+
+TEST(ParallelEngine, CrossShardAtOnDuringWindowThrows) {
+  sim::Engine eng;
+  eng.atOn(1, usec(10), [&eng] { eng.atOn(0, eng.now() + usec(1), [] {}); });
+  sim::ParallelPolicy policy;
+  policy.threads = 2;
+  EXPECT_THROW(eng.run(policy), sim::SimError);
+}
+
+TEST(ParallelEngine, CrossShardCancelDuringWindowThrows) {
+  sim::Engine eng;
+  const sim::EventId victim = eng.atOn(0, msec(5), [] {});
+  eng.atOn(1, usec(10), [&eng, victim] { eng.cancel(victim); });
+  sim::ParallelPolicy policy;
+  policy.threads = 2;
+  EXPECT_THROW(eng.run(policy), sim::SimError);
+}
+
+TEST(ParallelEngine, BadPoliciesThrow) {
+  sim::Engine eng;
+  eng.at(usec(1), [] {});
+  sim::ParallelPolicy no_threads;
+  no_threads.threads = 0;
+  EXPECT_THROW(eng.run(no_threads), sim::SimError);
+
+  sim::ParallelPolicy stuck;
+  stuck.threads = 2;
+  stuck.next_barrier = [](SimTime t) { return t; };  // must advance
+  EXPECT_THROW(eng.run(stuck), sim::SimError);
+}
+
+TEST(ParallelEngine, ShardMapRejectsFaultInjector) {
+  sim::Engine eng;
+  sim::Trace trace;
+  net::Fabric fabric(eng, net::NetworkParams::qsnet(), 4, &trace);
+  sim::FaultPlan plan;
+  plan.dropRate(0.1);
+  sim::FaultInjector inj(plan, 7);
+  fabric.setFaultInjector(&inj);
+  EXPECT_THROW(fabric.setShardMap({0, 1, 2, 3}), sim::SimError);
+  fabric.setFaultInjector(nullptr);
+  fabric.setShardMap({0, 1, 2, 3});
+  EXPECT_THROW(fabric.setFaultInjector(&inj), sim::SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Full-runtime scenarios: the BCS control plane lives on shard 0, so the
+// parallel mode must reproduce the serial run byte-for-byte.
+// ---------------------------------------------------------------------------
+
+struct ScenarioOut {
+  std::string trace;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::size_t unfinished = 0;
+  std::vector<std::uint64_t> numbers;  ///< scenario-specific stats digest
+
+  bool operator==(const ScenarioOut&) const = default;
+};
+
+/// The 32-node fault soup (5% drop + node 13 crash at 6 ms) from
+/// test_fault_injection, instrumented for byte-compare.
+ScenarioOut runFaultSoup(int threads) {
+  const int P = 32;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = 20260805;
+  ccfg.faults.dropRate(0.05);
+  ccfg.faults.crashNode(13, msec(6));
+  net::Cluster cluster(ccfg);
+  cluster.trace().enable();
+
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, quickCfg());
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = usec(500);
+  storm::Storm storm(cluster, scfg);
+  storm.setDeathHandler([&](int node) { runtime->notifyNodeFailure(node); });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(120), [&] { storm.stopHeartbeats(); });
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  std::vector<int> completed(P, 0), failed(P, 0);
+  bcsmpi::launchJob(*runtime, map, [&](mpi::Comm& comm) {
+    const int me = comm.rank();
+    std::vector<std::uint8_t> out(2048), in(2048);
+    for (int round = 0; round < 10; ++round) {
+      const int partner = me ^ (1 + (round % 7));
+      if (partner >= P) continue;
+      auto sreq = comm.isend(out.data(), out.size(), partner, round);
+      auto rreq = comm.irecv(in.data(), in.size(), partner, round);
+      mpi::Status ss, rs;
+      comm.wait(sreq, &ss);
+      comm.wait(rreq, &rs);
+      auto& cell = (ss.error == mpi::kSuccess && rs.error == mpi::kSuccess)
+                       ? completed
+                       : failed;
+      ++cell[static_cast<std::size_t>(me)];
+    }
+  });
+
+  if (threads > 0) {
+    cluster.run(runtime->parallelPolicy(threads));
+  } else {
+    cluster.run();
+  }
+
+  ScenarioOut out;
+  out.trace = cluster.trace().dump();
+  out.executed = cluster.engine().executedEvents();
+  out.cancelled = cluster.engine().cancelledEvents();
+  out.unfinished = cluster.unfinishedProcesses().size();
+  out.numbers = {runtime->stats().evictions, runtime->stats().retransmits,
+                 runtime->stats().requests_failed,
+                 cluster.fabric().stats().drops,
+                 cluster.fabric().stats().unicasts,
+                 cluster.fabric().stats().payload_bytes};
+  for (int v : completed) out.numbers.push_back(static_cast<std::uint64_t>(v));
+  for (int v : failed) out.numbers.push_back(static_cast<std::uint64_t>(v));
+  return out;
+}
+
+/// The Strobe-Sender-crash failover scenario from test_failover: the
+/// management node dies at 3 ms with a job in flight; watchdogs elect a
+/// backup and the ring completes.
+ScenarioOut runSsCrashFailover(int threads) {
+  const int P = 8;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = 90210;
+  ccfg.faults.crashManagementNode(msec(3));
+  net::Cluster cluster(ccfg);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg = quickCfg();
+  cfg.watchdog_slices = 4;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = usec(500);
+  storm::Storm storm(cluster, scfg);
+  storm.setDeathHandler([&](int node) { runtime->notifyNodeFailure(node); });
+  storm.setRejoinHandler([&](int node) { runtime->notifyNodeRejoin(node); });
+  runtime->setFailoverHandler(
+      [&storm](int node, std::uint64_t) { storm.failoverTo(node); });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(60), [&storm] { storm.stopHeartbeats(); });
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  std::vector<int> errors(P, 0);
+  bcsmpi::launchJob(*runtime, map, [&](mpi::Comm& comm) {
+    const int me = comm.rank();
+    const int right = (me + 1) % P;
+    const int left = (me + P - 1) % P;
+    std::vector<std::uint8_t> out(1024), in(1024);
+    for (int round = 0; round < 12; ++round) {
+      auto sreq = comm.isend(out.data(), out.size(), right, round);
+      auto rreq = comm.irecv(in.data(), in.size(), left, round);
+      mpi::Status ss, rs;
+      comm.wait(sreq, &ss);
+      comm.wait(rreq, &rs);
+      if (ss.error != mpi::kSuccess || rs.error != mpi::kSuccess) {
+        ++errors[static_cast<std::size_t>(me)];
+      }
+    }
+  });
+
+  if (threads > 0) {
+    cluster.run(runtime->parallelPolicy(threads));
+  } else {
+    cluster.run();
+  }
+
+  ScenarioOut out;
+  out.trace = cluster.trace().dump();
+  out.executed = cluster.engine().executedEvents();
+  out.cancelled = cluster.engine().cancelledEvents();
+  out.unfinished = cluster.unfinishedProcesses().size();
+  out.numbers = {runtime->stats().elections, runtime->stats().watchdog_fires,
+                 runtime->stats().evictions, runtime->controlEpoch(),
+                 static_cast<std::uint64_t>(runtime->strobeNode()),
+                 static_cast<std::uint64_t>(storm.machineManagerNode()),
+                 cluster.fabric().stats().suppressed_conditionals};
+  for (int v : errors) out.numbers.push_back(static_cast<std::uint64_t>(v));
+  return out;
+}
+
+/// The verifier-on clean run from test_verify: ring traffic + allreduce
+/// with the protocol verifier watching.
+ScenarioOut runVerifyOnClean(int threads) {
+  const int P = 4;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = 1234;
+  net::Cluster cluster(ccfg);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg = quickCfg();
+  cfg.verify = true;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  bcsmpi::launchJob(*runtime, map, [&](mpi::Comm& comm) {
+    const int me = comm.rank();
+    const int right = (me + 1) % P;
+    const int left = (me + P - 1) % P;
+    std::vector<std::uint8_t> out(2048), in(2048);
+    for (int round = 0; round < 4; ++round) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>((i * 3 + me + round) & 0xFF);
+      }
+      auto sreq = comm.isend(out.data(), out.size(), right, round);
+      auto rreq = comm.irecv(in.data(), in.size(), left, round);
+      comm.wait(sreq);
+      comm.wait(rreq);
+      comm.allreduceOne(static_cast<std::int64_t>(round), mpi::ReduceOp::kSum);
+    }
+  });
+
+  if (threads > 0) {
+    cluster.run(runtime->parallelPolicy(threads));
+  } else {
+    cluster.run();
+  }
+
+  const verify::VerifyReport* rep = runtime->verifyAudit();
+  EXPECT_NE(rep, nullptr);
+  ScenarioOut out;
+  out.trace = cluster.trace().dump();
+  out.executed = cluster.engine().executedEvents();
+  out.cancelled = cluster.engine().cancelledEvents();
+  out.unfinished = cluster.unfinishedProcesses().size();
+  if (rep != nullptr) {
+    EXPECT_TRUE(rep->clean()) << rep->render();
+    out.numbers = {rep->collectives_checked, rep->matches_checked,
+                   static_cast<std::uint64_t>(rep->finalized)};
+  }
+  return out;
+}
+
+TEST(ParallelRuntime, FaultSoup32MatchesSerialAtAllThreadCounts) {
+  const ScenarioOut ref = runFaultSoup(0);
+  ASSERT_FALSE(ref.trace.empty());
+  ASSERT_EQ(ref.unfinished, 1u);  // the crashed node's rank
+  for (int threads : kThreadCounts) {
+    const ScenarioOut par = runFaultSoup(threads);
+    EXPECT_EQ(par, ref) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRuntime, SsCrashFailoverMatchesSerialAtAllThreadCounts) {
+  const ScenarioOut ref = runSsCrashFailover(0);
+  ASSERT_FALSE(ref.trace.empty());
+  ASSERT_GE(ref.numbers[0], 1u);  // an election happened
+  for (int threads : kThreadCounts) {
+    const ScenarioOut par = runSsCrashFailover(threads);
+    EXPECT_EQ(par, ref) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRuntime, VerifyOnCleanRunMatchesSerialAtAllThreadCounts) {
+  const ScenarioOut ref = runVerifyOnClean(0);
+  ASSERT_FALSE(ref.trace.empty());
+  for (int threads : kThreadCounts) {
+    const ScenarioOut par = runVerifyOnClean(threads);
+    EXPECT_EQ(par, ref) << "threads=" << threads;
+  }
+}
+
+}  // namespace

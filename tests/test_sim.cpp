@@ -243,6 +243,65 @@ TEST(Fiber, DestructionUnwindsUnfinishedBody) {
   EXPECT_TRUE(unwound);
 }
 
+// Regression: destroying a fiber that was never resumed used to race with
+// threadMain's startup (the body thread read kill_ before taking the lock,
+// so a fast destructor could lose the kill notification and hang the join,
+// or the body could start running concurrently with the unwind).  The loop
+// makes the interleaving likely enough to trip TSan / hang deterministic
+// CI when the handshake regresses.
+TEST(Fiber, ImmediateDestructionWithoutResumeIsClean) {
+  for (int i = 0; i < 200; ++i) {
+    bool ran = false;
+    {
+      Fiber f([&] { ran = true; });
+    }  // destroyed before any resume: body must never start
+    EXPECT_FALSE(ran);
+  }
+}
+
+// Regression (same startup handshake, opposite winner): resume immediately
+// after construction, before the body thread has reached its first wait.
+// The resume must not be lost and the body must run exactly once.
+TEST(Fiber, ResumeImmediatelyAfterConstructionRuns) {
+  for (int i = 0; i < 200; ++i) {
+    int runs = 0;
+    Fiber f([&] { ++runs; });
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(runs, 1);
+  }
+}
+
+// Regression: rapid resume-once-then-destroy cycles exercise the kill path
+// waking a fiber parked in yield() while the destructor holds the lock.
+TEST(Fiber, ResumeThenDestroyLoopUnwindsEveryBody) {
+  int unwound = 0;
+  for (int i = 0; i < 100; ++i) {
+    Fiber* self = nullptr;
+    Fiber f([&] {
+      struct S {
+        int* u;
+        ~S() { ++*u; }
+      } s{&unwound};
+      self->yield();
+    });
+    self = &f;
+    f.resume();  // parked in yield; destructor must kill + join cleanly
+  }
+  EXPECT_EQ(unwound, 100);
+}
+
+TEST(Fiber, ExceptionAfterYieldPropagatesOnSecondResume) {
+  Fiber f([&f] {
+    f.yield();
+    throw std::runtime_error("late boom");
+  });
+  f.resume();
+  EXPECT_FALSE(f.finished());
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
 // ------------------------------------------------------------------ CPU --
 
 TEST(Cpu, SingleTaskRunsAtFullSpeed) {

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerates the golden-trace corpus under tests/golden/.
+
+Builds the golden_gen tool in an existing build tree (default: ./build) and
+runs it against tests/golden/.  Regenerating is the only sanctioned way to
+update the corpus; always review the resulting diff — a golden change means
+event schedules moved, which is either the point of your change or a bug.
+
+Usage:
+    tools/regen_golden.py [--build-dir BUILD] [--dump NAME]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=str(REPO / "build"),
+                    help="CMake build tree to (re)use [default: ./build]")
+    ap.add_argument("--dump", metavar="NAME",
+                    help="decompress tests/golden/NAME.trace.bcsz to stdout "
+                         "instead of regenerating")
+    args = ap.parse_args()
+
+    build = pathlib.Path(args.build_dir)
+    if not (build / "CMakeCache.txt").exists():
+        subprocess.run(["cmake", "-B", str(build), "-S", str(REPO)],
+                       check=True)
+    subprocess.run(["cmake", "--build", str(build), "--target", "golden_gen",
+                    "-j"], check=True)
+
+    gen = build / "tests" / "golden_gen"
+    if not gen.exists():
+        print(f"golden_gen not found at {gen}", file=sys.stderr)
+        return 1
+
+    if args.dump:
+        blob = GOLDEN_DIR / f"{args.dump}.trace.bcsz"
+        return subprocess.run([str(gen), "--dump", str(blob)]).returncode
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    subprocess.run([str(gen), str(GOLDEN_DIR)], check=True)
+    print(f"corpus written to {GOLDEN_DIR} — review `git diff` before "
+          "committing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
