@@ -14,6 +14,7 @@
 // baseline and the run fails on a >30% regression — this is the `bench_quick`
 // CTest entry (see the `bench` CMake preset).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include <queue>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -448,34 +450,57 @@ int main(int argc, char** argv) {
                 legacy_eps / 1e6, speedup);
   }
 
-  std::printf("parallel engine soup (one shard per node, n=128)\n");
-  {
-    const int n = 128;
+  // Warmed, interleaved measurement: one untimed serial + parallel pass
+  // faults in pages, allocator arenas and branch predictors, then serial
+  // and parallel runs alternate within each rep so both see the same cache
+  // and allocator state — the old serial-first ordering is why t1 used to
+  // read 1.3x serial on the *identical* workload.  Best-of keeps the least
+  // OS-disturbed rep per configuration.
+  constexpr int kParReps = 3;
+  std::printf("parallel engine soup (one shard per node; "
+              "warmed, interleaved best-of-%d)\n", kParReps);
+  results["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  for (const int n : {128, 512}) {
     const long long slices = 160000 / n;
+    const std::string suffix = "_n" + std::to_string(n);
+    parSoupEventsPerSec(n, slices, 0);  // warmup, untimed
+    parSoupEventsPerSec(n, slices, 4);  // warmup, untimed
+
+    const int thread_counts[] = {1, 2, 4, 8};
+    double serial_best = 0;
     std::uint64_t serial_events = 0;
-    const double serial_eps =
-        parSoupEventsPerSec(n, slices, 0, &serial_events);
-    results["par_soup_serial_events_per_sec_n128"] = serial_eps;
-    std::printf("  serial  %9.2f M events/s  (%llu events)\n",
-                serial_eps / 1e6,
-                static_cast<unsigned long long>(serial_events));
-    for (const int t : {1, 2, 4, 8}) {
-      std::uint64_t events = 0;
-      const double eps = parSoupEventsPerSec(n, slices, t, &events);
-      results["par_soup_events_per_sec_t" + std::to_string(t) + "_n128"] =
-          eps;
-      std::printf("  t=%-2d    %9.2f M events/s  (%.2fx serial)\n", t,
-                  eps / 1e6, eps / serial_eps);
-      if (events != serial_events) {
-        std::printf("  WARNING t=%d executed %llu events, serial executed "
-                    "%llu — parallel run diverged\n",
-                    t, static_cast<unsigned long long>(events),
-                    static_cast<unsigned long long>(serial_events));
-        return 1;
+    std::map<int, double> par_best;
+    for (int rep = 0; rep < kParReps; ++rep) {
+      std::uint64_t ev = 0;
+      serial_best = std::max(serial_best,
+                             parSoupEventsPerSec(n, slices, 0, &ev));
+      serial_events = ev;
+      for (const int t : thread_counts) {
+        const double eps = parSoupEventsPerSec(n, slices, t, &ev);
+        if (ev != serial_events) {
+          std::printf("  WARNING t=%d executed %llu events, serial executed "
+                      "%llu — parallel run diverged\n",
+                      t, static_cast<unsigned long long>(ev),
+                      static_cast<unsigned long long>(serial_events));
+          return 1;
+        }
+        par_best[t] = std::max(par_best[t], eps);
       }
     }
-    results["par_soup_speedup_t4_n128"] =
-        results["par_soup_events_per_sec_t4_n128"] / serial_eps;
+
+    results["par_soup_serial_events_per_sec" + suffix] = serial_best;
+    std::printf("  n=%-4d serial  %9.2f M events/s  (%llu events)\n", n,
+                serial_best / 1e6,
+                static_cast<unsigned long long>(serial_events));
+    for (const int t : thread_counts) {
+      results["par_soup_events_per_sec_t" + std::to_string(t) + suffix] =
+          par_best[t];
+      std::printf("  n=%-4d t=%-2d    %9.2f M events/s  (%.2fx serial)\n", n,
+                  t, par_best[t] / 1e6, par_best[t] / serial_best);
+    }
+    results["par_soup_speedup_t4" + suffix] = par_best[4] / serial_best;
+    results["par_soup_speedup_t8" + suffix] = par_best[8] / serial_best;
   }
 
   std::printf("MSM matcher (envelope index vs quadratic reference)\n");
@@ -537,9 +562,27 @@ int main(int argc, char** argv) {
         ++failures;
       }
     }
+    // Parallel speedup floor.  The canonical bar is t4 >= 1.8x serial on
+    // the 128-node soup; on hosts without 4 hardware threads wall-clock
+    // parallel speedup is physically unavailable (the policy clamps its
+    // worker count), so the floor relaxes to "parallel must not regress
+    // serial" and says so.
+    const double hw = results["hardware_threads"];
+    const double spd = results["par_soup_speedup_t4_n128"];
+    const double spd_floor = hw >= 4 ? 1.8 : 0.9;
+    if (hw < 4) {
+      std::printf("speedup floor waived to %.1f: host has %.0f hardware "
+                  "thread(s), wall-clock scaling needs >= 4\n",
+                  spd_floor, hw);
+    }
+    if (spd < spd_floor) {
+      std::printf("REGRESSION par_soup_speedup_t4_n128: %.2fx below the "
+                  "%.1fx floor\n", spd, spd_floor);
+      ++failures;
+    }
     if (failures > 0) return 1;
-    std::printf("regression gate: ok (threshold -30%% vs %s)\n",
-                baseline_path);
+    std::printf("regression gate: ok (threshold -30%% vs %s, t4 speedup "
+                "floor %.1fx)\n", baseline_path, spd_floor);
   }
   return 0;
 }

@@ -25,6 +25,7 @@
 // Application processes interact with the runtime only by posting
 // descriptors (descriptors.hpp) and blocking on request completion.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -181,13 +182,24 @@ class Runtime {
   /// runtime itself runs entirely on shard 0 and is byte-identical under
   /// this policy; workloads sharded per node via Engine::atOn +
   /// Fabric::setShardMap get drained concurrently between boundaries.
-  sim::ParallelPolicy parallelPolicy(int threads) const {
+  ///
+  /// `slices_per_window` coarsens the barrier grid to every Nth slice
+  /// boundary — fewer merges, longer contention-free stretches.  Safe only
+  /// when all cross-shard traffic (Engine::handoff) spans at least N slice
+  /// edges; cross-shard fabric sends whose latency is below N-1 slices will
+  /// fail the engine's conservative-window check loudly.  The schedule of
+  /// executed events is identical either way — barriers only decide when
+  /// merges happen, not what order events fire in.
+  sim::ParallelPolicy parallelPolicy(int threads,
+                                     int slices_per_window = 1) const {
     sim::ParallelPolicy policy;
     policy.threads = threads;
     policy.window = config_.time_slice;
-    const sim::Duration slice = config_.time_slice;
-    policy.next_barrier = [slice](sim::SimTime t) {
-      return (t / slice + 1) * slice;  // the strobe grid: slice multiples
+    policy.windows_per_barrier = slices_per_window;
+    const sim::Duration grid =
+        config_.time_slice * std::max(slices_per_window, 1);
+    policy.next_barrier = [grid](sim::SimTime t) {
+      return (t / grid + 1) * grid;  // the strobe grid: slice multiples
     };
     return policy;
   }

@@ -49,13 +49,36 @@ void Fabric::setShardMap(std::vector<sim::ShardId> shard_of) {
   shard_map_ = std::move(shard_of);
 }
 
-void Fabric::bump(std::uint64_t& counter, std::uint64_t delta) {
-  if (shard_map_.empty()) {
-    counter += delta;
-  } else {
-    std::atomic_ref<std::uint64_t>(counter).fetch_add(
-        delta, std::memory_order_relaxed);
+void Fabric::bump(std::uint64_t FabricStats::* counter, std::uint64_t delta) {
+  const int w = sim::detail::currentWorkerIndex();
+  if (w < 0) {
+    // Serial engine, or the parallel coordinator between windows — single
+    // threaded by construction, so the plain add stays.
+    stat_stripes_[0].s.*counter += delta;
+    return;
   }
+  // Each worker gets its own cache-line stripe (for any realistic worker
+  // count); the atomic add only matters if two workers ever hash together,
+  // and on a private line it costs the same as a plain add.
+  StatStripe& stripe =
+      stat_stripes_[1 + static_cast<std::size_t>(w) % (kStatStripes - 1)];
+  std::atomic_ref<std::uint64_t>(stripe.s.*counter)
+      .fetch_add(delta, std::memory_order_relaxed);
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats total;
+  for (const StatStripe& stripe : stat_stripes_) {
+    total.unicasts += stripe.s.unicasts;
+    total.multicasts += stripe.s.multicasts;
+    total.conditionals += stripe.s.conditionals;
+    total.payload_bytes += stripe.s.payload_bytes;
+    total.drops += stripe.s.drops;
+    total.failed_sends += stripe.s.failed_sends;
+    total.suppressed_deliveries += stripe.s.suppressed_deliveries;
+    total.suppressed_conditionals += stripe.s.suppressed_conditionals;
+  }
+  return total;
 }
 
 Duration Fabric::baseLatency(int src, int dst) const {
@@ -69,8 +92,8 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
                      std::function<void()> on_injected, SendOptions opts) {
   checkNode(src);
   checkNode(dst);
-  bump(stats_.unicasts);
-  bump(stats_.payload_bytes, static_cast<std::uint64_t>(bytes));
+  bump(&FabricStats::unicasts);
+  bump(&FabricStats::payload_bytes, static_cast<std::uint64_t>(bytes));
 
   const SimTime now = engine_.now();
 
@@ -106,7 +129,7 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
   // A down source NIC cannot inject anything: report failure after the ack
   // timeout without occupying the wire.
   if (fault_ && fault_->nodeDown(src, now)) {
-    ++stats_.failed_sends;
+    bump(&FabricStats::failed_sends);
     if (trace_) {
       trace_->record(now, sim::TraceCategory::kFault, src,
                      "unicast -> n" + std::to_string(dst) +
@@ -152,9 +175,9 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
     const bool dst_down = fault_->nodeDown(dst, now);
     lost = dropped || dst_down;
     if (dropped) {
-      ++stats_.drops;
+      bump(&FabricStats::drops);
     } else if (dst_down) {
-      ++stats_.failed_sends;
+      bump(&FabricStats::failed_sends);
     }
     if (!lost && opts.droppable) degrade = fault_->degradeExtra();
   }
@@ -211,8 +234,8 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
     }
   }
 
-  bump(stats_.multicasts);
-  bump(stats_.payload_bytes,
+  bump(&FabricStats::multicasts);
+  bump(&FabricStats::payload_bytes,
        static_cast<std::uint64_t>(bytes) *
            static_cast<std::uint64_t>(std::max<std::size_t>(dests.size(), 1)));
 
@@ -252,7 +275,7 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
   SimTime last = start_tx + fanout_latency;  // fallback if no live dest
   for (int d : dests) {
     if (src_down || (fault_ && fault_->nodeDown(d, now))) {
-      ++stats_.suppressed_deliveries;
+      bump(&FabricStats::suppressed_deliveries);
       if (trace_) {
         trace_->record(now, sim::TraceCategory::kFault, src,
                        "multicast leg -> n" + std::to_string(d) +
@@ -385,7 +408,7 @@ void Fabric::conditional(int src, std::vector<int> nodes,
       }
     }
   }
-  bump(stats_.conditionals);
+  bump(&FabricStats::conditionals);
 
   const Duration lat = conditionalLatency(static_cast<int>(nodes.size()));
   engine_.after(lat, [this, src, nodes = std::move(nodes),
@@ -396,7 +419,7 @@ void Fabric::conditional(int src, std::vector<int> nodes,
     // instead of keeping a ghost SS alive.  (Down *participants* merely
     // evaluate false, below — the issuer is special.)
     if (fault_ && fault_->nodeDown(src, engine_.now())) {
-      ++stats_.suppressed_conditionals;
+      bump(&FabricStats::suppressed_conditionals);
       if (trace_) {
         trace_->record(engine_.now(), sim::TraceCategory::kFault, src,
                        "conditional result suppressed: issuer down");

@@ -122,7 +122,9 @@ class Fabric {
   /// First-bit latency of a multicast reaching every destination.
   Duration multicastLatency() const;
 
-  const FabricStats& stats() const { return stats_; }
+  /// Folded view over the per-worker statistic stripes.  Cheap (a few
+  /// cache lines); call between runs, not from concurrent model code.
+  FabricStats stats() const;
 
   /// Attaches (or detaches, with nullptr) a fault injector.  Not owned; must
   /// outlive the fabric or be detached first.  Incompatible with a shard map
@@ -163,10 +165,10 @@ class Fabric {
                          std::function<void()> on_all);
 
   void checkNode(int node) const;
-  /// Counter bump that is race-free when a shard map routes concurrent
-  /// workers through this fabric (plain add otherwise — the counters stay
-  /// non-atomic fields so the serial hot path is unchanged).
-  void bump(std::uint64_t& counter, std::uint64_t delta = 1);
+  /// Counter bump routed to the calling worker's statistic stripe, so
+  /// concurrent shard workers never ping-pong one shared cache line.  The
+  /// serial path (no worker context) keeps a plain non-atomic add.
+  void bump(std::uint64_t FabricStats::* counter, std::uint64_t delta = 1);
 
   sim::Engine& engine_;
   NetworkParams params_;
@@ -176,7 +178,15 @@ class Fabric {
   sim::Trace* trace_;
   sim::FaultInjector* fault_ = nullptr;
   std::vector<sim::ShardId> shard_map_;  ///< node -> shard; empty = off
-  FabricStats stats_;
+
+  /// Stripe 0 belongs to the serial path (and the coordinator outside a
+  /// drain); workers 0..N hash onto stripes 1..kStatStripes-1, each on its
+  /// own cache line.  stats() folds them back into one FabricStats.
+  static constexpr std::size_t kStatStripes = 16;
+  struct alignas(64) StatStripe {
+    FabricStats s;
+  };
+  StatStripe stat_stripes_[kStatStripes];
 };
 
 }  // namespace bcs::net

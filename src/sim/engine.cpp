@@ -47,9 +47,14 @@ ShardId keyShard(std::uint64_t key) {
 
 namespace detail {
 
-struct ExecContext {
+/// One worker's whole window state lives here, cache-line aligned so two
+/// workers' hot fields never share a line.  The outbound handoff batches
+/// are indexed by destination shard: each staging event appends to its
+/// destination's vector, and the barrier performs a single canonically-
+/// ordered bulk merge over all (worker, destination) batches instead of
+/// staging per event through shared engine state.
+struct alignas(64) ExecContext {
   struct StagedHandoff {
-    ShardId shard;
     SimTime when;
     SimTime src_when;       ///< firing time of the staging event
     std::uint64_t src_key;  ///< canonical key of the staging event
@@ -76,17 +81,31 @@ struct ExecContext {
   std::uint64_t cur_key = 0;
   std::uint32_t handoff_idx = 0;
   std::uint32_t trace_idx = 0;
+  void* queue = nullptr;  ///< the executing shard's Engine::ShardQueue
   std::vector<std::uint32_t> free;  ///< worker-private node arena
   std::int64_t live_delta = 0;
   std::uint64_t executed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t dropped = 0;
   SimTime max_fired = -1;
-  std::vector<StagedHandoff> staged;
+  /// Outbound handoff batches, one vector per destination shard (grown
+  /// lazily; `outbound_touched` lists the non-empty ones so the barrier
+  /// never scans the full width).
+  std::vector<std::vector<StagedHandoff>> outbound;
+  std::vector<ShardId> outbound_touched;
   std::vector<DeferredTrace> deferred;
 #if defined(__cpp_exceptions)
   std::exception_ptr error;
 #endif
+
+  std::vector<StagedHandoff>& outboundFor(ShardId shard) {
+    if (static_cast<std::size_t>(shard) >= outbound.size()) {
+      outbound.resize(static_cast<std::size_t>(shard) + 1);
+    }
+    auto& batch = outbound[shard];
+    if (batch.empty()) outbound_touched.push_back(shard);
+    return batch;
+  }
 };
 
 namespace {
@@ -95,6 +114,8 @@ thread_local ExecContext* t_ctx = nullptr;
 
 void* currentExecContext() { return t_ctx; }
 void adoptExecContext(void* ctx) { t_ctx = static_cast<ExecContext*>(ctx); }
+
+int currentWorkerIndex() { return t_ctx != nullptr ? t_ctx->worker : -1; }
 
 bool deferTraceRecord(void* trace, TraceCommitFn commit, SimTime t,
                       std::uint8_t category, int node, std::string&& message) {
@@ -149,11 +170,22 @@ std::uint32_t Engine::acquireNodeCtx(detail::ExecContext& ctx) {
     ctx.free.pop_back();
     return slot;
   }
-  // Refill the worker's arena with a batch of fresh slots; chunk growth and
-  // the slot counter are serialized under chunk_mu_.
-  constexpr std::uint32_t kBatch = 64;
+  // Refill the worker's arena with a batch of slots; the shared free list,
+  // chunk growth and the slot counter are all serialized under chunk_mu_.
+  // (The coordinator touches free_ without the lock only while workers are
+  // parked between windows, so this is the sole concurrent access path.)
+  // The batch is sized so a steady-state worker visits the lock at most
+  // once per few windows — after the first windows the arena self-sustains
+  // on recycled slots and never comes back here at all.
+  constexpr std::uint32_t kBatch = 256;
   std::lock_guard<std::mutex> lock(chunk_mu_);
-  for (std::uint32_t i = 0; i < kBatch; ++i) {
+  std::uint32_t got = 0;
+  while (got < kBatch && !free_.empty()) {
+    ctx.free.push_back(free_.back());
+    free_.pop_back();
+    ++got;
+  }
+  for (; got < kBatch; ++got) {
     const std::uint32_t slot =
         node_count_.fetch_add(1, std::memory_order_relaxed);
     if ((slot >> kChunkShift) == chunks_.size()) {
@@ -336,7 +368,19 @@ EventId Engine::finishSchedule(const Prep& p, SimTime when) {
     // replays the serial engine's per-shard sequence exactly.
     const std::uint64_t key =
         makeKey(p.shard, false, shard_seq_[p.shard]++);
-    heapPush(shard_heaps_[p.shard], QEntry{when, key, p.slot});
+    const QEntry entry{when, key, p.slot};
+    // Same-shard scheduling only (beginSchedule* enforce it), so the target
+    // queue is always the one the worker is draining: events inside the
+    // window keep `near` sorted via the calendar queue's late-arrival
+    // insert; everything else takes the far heap.
+    auto& sq = *static_cast<ShardQueue*>(p.ctx->queue);
+    if (when < p.ctx->window_end) {
+      sq.near.insert(
+          std::upper_bound(sq.near.begin(), sq.near.end(), entry, kLaterFirst),
+          entry);
+    } else {
+      heapPush(sq.far, entry);
+    }
     return EventId{p.slot + 1, n.gen};
   }
   ++live_;
@@ -356,9 +400,8 @@ void Engine::handoffImpl(ShardId shard, SimTime when, EventCallback cb) {
               " precedes the next barrier (" + formatTime(ctx->window_end) +
               "); handoffs must land at or past the barrier");
     }
-    ctx->staged.push_back(detail::ExecContext::StagedHandoff{
-        shard, when, ctx->now, ctx->cur_key, ctx->handoff_idx++,
-        std::move(cb)});
+    ctx->outboundFor(shard).push_back(detail::ExecContext::StagedHandoff{
+        when, ctx->now, ctx->cur_key, ctx->handoff_idx++, std::move(cb)});
     return;
   }
   if (when < now_) failSchedulePast(when, now_);
@@ -521,33 +564,40 @@ void Engine::distributeToShards() {
   for (const QEntry& e : pending) {
     nshards = std::max(nshards, static_cast<std::size_t>(keyShard(e.key)) + 1);
   }
-  shard_heaps_.assign(nshards, {});
+  // shard_qs_ survives between runs so its vectors keep their capacity;
+  // between windows every entry lives in `far` (near drains to empty by
+  // construction), so distribution only touches the far heaps.
+  if (shard_qs_.size() < nshards) shard_qs_.resize(nshards);
   if (shard_seq_.size() < nshards) shard_seq_.resize(nshards, 1);
   for (const QEntry& e : pending) {
-    heapPush(shard_heaps_[keyShard(e.key)], e);
+    heapPush(shard_qs_[keyShard(e.key)].far, e);
   }
 }
+
+// Bounded spin before yielding: long enough to catch a near-simultaneous
+// publication on a multicore host, short enough that an oversubscribed
+// worker (more workers than cores) surrenders its timeslice promptly.
+static constexpr int kBarrierSpins = 256;
 
 void Engine::workerLoop(int w) {
   detail::ExecContext& ctx = *ctxs_[static_cast<std::size_t>(w)];
   std::uint64_t seen_gen = 0;
   for (;;) {
     SimTime wend;
-    {
-      std::unique_lock<std::mutex> lock(par_mu_);
-      par_cv_.wait(lock,
-                   [&] { return par_quit_ || window_gen_ != seen_gen; });
-      if (par_quit_) return;
-      seen_gen = window_gen_;
-      wend = window_end_;
+    for (int spins = 0;; ++spins) {
+      if (par_quit_.load(std::memory_order_acquire)) return;
+      const std::uint64_t gen = window_gen_.load(std::memory_order_acquire);
+      if (gen != seen_gen) {
+        seen_gen = gen;
+        // The acquire above synchronizes with the coordinator's release
+        // bump, so the plain read of window_end_ is ordered.
+        wend = window_end_;
+        break;
+      }
+      if (spins >= kBarrierSpins) std::this_thread::yield();
     }
     drainWindow(ctx, wend);
-    {
-      std::lock_guard<std::mutex> lock(par_mu_);
-      if (++workers_done_ == static_cast<int>(ctxs_.size())) {
-        par_cv_.notify_all();
-      }
-    }
+    workers_done_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -587,27 +637,45 @@ void Engine::drainWindow(detail::ExecContext& ctx, SimTime window_end) {
 #endif
     const std::size_t stride = ctxs_.size();
     for (std::size_t s = static_cast<std::size_t>(ctx.worker);
-         s < shard_heaps_.size(); s += stride) {
-      auto& heap = shard_heaps_[s];
-      for (;;) {
-        while (!heap.empty() && !node(heap.front().slot).armed) {
-          Node& dead = node(heap.front().slot);
-          ++dead.gen;
-          ctx.free.push_back(heap.front().slot);
-          heapPop(heap);
+         s < shard_qs_.size(); s += stride) {
+      ShardQueue& sq = shard_qs_[s];
+      ctx.queue = &sq;
+      // Window prep: move matured far entries into the near vector (dead
+      // ones recycle straight into this worker's arena) and sort it once,
+      // descending, so the drain below is pop_back off the tail.  Intra-
+      // window arrivals keep the order via sorted insert in finishSchedule.
+      while (!sq.far.empty() && sq.far.front().when < window_end) {
+        const QEntry e = sq.far.front();
+        heapPop(sq.far);
+        if (!node(e.slot).armed) {
+          ++node(e.slot).gen;
+          ctx.free.push_back(e.slot);
           ++ctx.dropped;
+          continue;
         }
-        if (heap.empty() || heap.front().when >= window_end) break;
-        const QEntry entry = heap.front();
-        heapPop(heap);
+        sq.near.push_back(e);
+      }
+      std::sort(sq.near.begin(), sq.near.end(), kLaterFirst);
+      while (!sq.near.empty()) {
+        const QEntry entry = sq.near.back();
+        sq.near.pop_back();
+        if (!node(entry.slot).armed) {
+          ++node(entry.slot).gen;
+          ctx.free.push_back(entry.slot);
+          ++ctx.dropped;
+          continue;
+        }
         fireCtx(ctx, entry);
       }
+      // Invariant on exit: near is empty — between barriers every pending
+      // event for this shard lives in far.
     }
 #if defined(__cpp_exceptions)
   } catch (...) {
     ctx.error = std::current_exception();
   }
 #endif
+  ctx.queue = nullptr;
   detail::t_ctx = prev;
 }
 
@@ -628,35 +696,51 @@ void Engine::mergeWindow() {
     c.max_fired = -1;
   }
 
-  // Cross-shard handoffs, applied in the canonical order of their staging
-  // events — exactly the order the serial engine would have drawn handoff
-  // sequence numbers in.
-  std::vector<detail::ExecContext::StagedHandoff*> staged;
+  // Cross-shard handoffs: each worker accumulated one batch per destination
+  // shard; the barrier applies them all in the canonical order of their
+  // staging events — exactly the order the serial engine would have drawn
+  // handoff sequence numbers in.  One global sequence counter keeps keys
+  // consistent across mixed serial/parallel segments of the same run.
+  struct MergeRef {
+    detail::ExecContext::StagedHandoff* h;
+    ShardId dest;
+  };
+  std::vector<MergeRef> staged;
   for (auto& cp : ctxs_) {
-    for (auto& h : cp->staged) staged.push_back(&h);
+    for (ShardId dest : cp->outbound_touched) {
+      for (auto& h : cp->outbound[static_cast<std::size_t>(dest)]) {
+        staged.push_back(MergeRef{&h, dest});
+      }
+    }
   }
   std::sort(staged.begin(), staged.end(),
-            [](const detail::ExecContext::StagedHandoff* a,
-               const detail::ExecContext::StagedHandoff* b) {
-              if (a->src_when != b->src_when) return a->src_when < b->src_when;
-              if (a->src_key != b->src_key) return a->src_key < b->src_key;
-              return a->idx < b->idx;
+            [](const MergeRef& a, const MergeRef& b) {
+              if (a.h->src_when != b.h->src_when)
+                return a.h->src_when < b.h->src_when;
+              if (a.h->src_key != b.h->src_key)
+                return a.h->src_key < b.h->src_key;
+              return a.h->idx < b.h->idx;
             });
-  for (detail::ExecContext::StagedHandoff* h : staged) {
-    if (static_cast<std::size_t>(h->shard) >= shard_heaps_.size()) {
-      shard_heaps_.resize(static_cast<std::size_t>(h->shard) + 1);
-      shard_seq_.resize(static_cast<std::size_t>(h->shard) + 1, 1);
+  for (const MergeRef& r : staged) {
+    if (static_cast<std::size_t>(r.dest) >= shard_qs_.size()) {
+      shard_qs_.resize(static_cast<std::size_t>(r.dest) + 1);
+      shard_seq_.resize(static_cast<std::size_t>(r.dest) + 1, 1);
     }
     const std::uint32_t slot = acquireNode();
     Node& n = node(slot);
     n.armed = true;
-    n.shard = h->shard;
-    n.fn = std::move(h->cb);
+    n.shard = r.dest;
+    n.fn = std::move(r.h->cb);
     ++live_;
-    heapPush(shard_heaps_[h->shard],
-             QEntry{h->when, makeKey(h->shard, true, handoff_seq_++), slot});
+    heapPush(shard_qs_[r.dest].far,
+             QEntry{r.h->when, makeKey(r.dest, true, handoff_seq_++), slot});
   }
-  for (auto& cp : ctxs_) cp->staged.clear();
+  for (auto& cp : ctxs_) {
+    for (ShardId dest : cp->outbound_touched) {
+      cp->outbound[static_cast<std::size_t>(dest)].clear();
+    }
+    cp->outbound_touched.clear();
+  }
 
   // Deferred trace records, spliced in canonical emission order (the serial
   // engine appends in execution order, and execution order is the key
@@ -679,11 +763,7 @@ void Engine::mergeWindow() {
 }
 
 void Engine::finishParallel() {
-  {
-    std::lock_guard<std::mutex> lock(par_mu_);
-    par_quit_ = true;
-    par_cv_.notify_all();
-  }
+  par_quit_.store(true, std::memory_order_release);
   for (auto& t : workers_) t.join();
   workers_.clear();
   // Worker arenas fold back into the shared free list in worker order
@@ -694,10 +774,14 @@ void Engine::finishParallel() {
   }
   // Events beyond `until` (and any remaining tombstones) return to the
   // global calendar so a later run — serial or parallel — continues them.
-  for (auto& heap : shard_heaps_) {
-    for (const QEntry& e : heap) enqueue(e);
+  // `near` is normally empty here; it only holds entries after an abort
+  // mid-window, and those must survive too.
+  for (auto& sq : shard_qs_) {
+    for (const QEntry& e : sq.near) enqueue(e);
+    sq.near.clear();
+    for (const QEntry& e : sq.far) enqueue(e);
+    sq.far.clear();
   }
-  shard_heaps_.clear();
   ctxs_.clear();
   par_active_ = false;
   cur_shard_ = 0;
@@ -713,33 +797,60 @@ SimTime Engine::run(const ParallelPolicy& policy, SimTime until) {
   if (!policy.next_barrier && policy.window <= 0) {
     simFail("Engine::run: ParallelPolicy.window must be positive");
   }
+  if (policy.windows_per_barrier < 1) {
+    simFail("Engine::run: ParallelPolicy.windows_per_barrier must be >= 1");
+  }
 
   distributeToShards();
 
-  const int nworkers = policy.threads;
+  // More workers than cores (or than shards) only adds scheduler thrash;
+  // the shard→worker assignment is not observable — byte-identity holds by
+  // construction of the canonical event order — so clamping is always safe.
+  int nworkers = policy.threads;
+  if (policy.clamp_to_hardware) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && nworkers > static_cast<int>(hw)) {
+      nworkers = static_cast<int>(hw);
+    }
+    if (nworkers > static_cast<int>(shard_qs_.size())) {
+      nworkers = static_cast<int>(shard_qs_.size());
+    }
+    if (nworkers < 1) nworkers = 1;
+  }
   ctxs_.clear();
   for (int w = 0; w < nworkers; ++w) {
     auto ctx = std::make_unique<detail::ExecContext>();
     ctx->eng = this;
     ctx->worker = w;
+    ctx->outbound.resize(shard_qs_.size());
     ctxs_.push_back(std::move(ctx));
   }
-  par_quit_ = false;
-  window_gen_ = 0;
-  workers_done_ = 0;
+  par_quit_.store(false, std::memory_order_relaxed);
+  window_gen_.store(0, std::memory_order_relaxed);
+  workers_done_.store(0, std::memory_order_relaxed);
   par_active_ = true;
   for (int w = 1; w < nworkers; ++w) {
     workers_.emplace_back([this, w] { workerLoop(w); });
   }
+
+  // Barrier coarsening: several grid windows fused into one barrier-to-
+  // barrier stretch.  Only valid when the model keeps cross-shard effects
+  // on a coarser grid too (the runtime knows its slice schedule).
+  const SimTime grid =
+      policy.window > 0
+          ? policy.window * static_cast<SimTime>(policy.windows_per_barrier)
+          : 0;
 
 #if defined(__cpp_exceptions)
   try {
 #endif
     for (;;) {
       // Earliest pending event across shards (dropping dead heap tops).
+      // Between barriers everything sits in the far heaps; near is empty.
       SimTime tmin = INT64_MAX;
       bool any = false;
-      for (auto& heap : shard_heaps_) {
+      for (auto& sq : shard_qs_) {
+        auto& heap = sq.far;
         while (!heap.empty() && !node(heap.front().slot).armed) {
           releaseNode(heap.front().slot);
           heapPop(heap);
@@ -760,24 +871,29 @@ SimTime Engine::run(const ParallelPolicy& policy, SimTime until) {
                   "time past its argument");
         }
       } else {
-        wend = (tmin / policy.window + 1) * policy.window;
+        wend = (tmin / grid + 1) * grid;
       }
       if (until != INT64_MAX && wend > until) wend = until + 1;
 
-      {
-        std::lock_guard<std::mutex> lock(par_mu_);
-        ++window_gen_;
-        workers_done_ = 0;
+      if (nworkers > 1) {
+        workers_done_.store(0, std::memory_order_relaxed);
         window_end_ = wend;
-        par_cv_.notify_all();
+        // The release bump publishes window_end_ to the workers' acquire
+        // loads — this is the whole barrier wake-up path, no mutex.
+        window_gen_.fetch_add(1, std::memory_order_release);
       }
       // The coordinator doubles as worker 0 (fibers live on shard 0, so
       // model code with a call stack always runs on the caller's thread).
       drainWindow(*ctxs_[0], wend);
-      {
-        std::unique_lock<std::mutex> lock(par_mu_);
-        if (++workers_done_ == nworkers) par_cv_.notify_all();
-        par_cv_.wait(lock, [&] { return workers_done_ == nworkers; });
+      if (nworkers > 1) {
+        for (int spins = 0; workers_done_.load(std::memory_order_acquire) !=
+                            nworkers - 1;
+             ++spins) {
+          if (spins >= kBarrierSpins) {
+            std::this_thread::yield();
+            spins = 0;
+          }
+        }
       }
 #if defined(__cpp_exceptions)
       for (auto& cp : ctxs_) {

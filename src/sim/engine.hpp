@@ -47,7 +47,6 @@
 //  parallel mode is opt-in per run() call.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -78,6 +77,23 @@ using ShardId = std::uint16_t;
 struct ParallelPolicy {
   int threads = 2;
   Duration window = usec(500);
+
+  /// Barrier coarsening on the default grid: merge points land on multiples
+  /// of `window * windows_per_barrier`.  Legal only when the workload's
+  /// cross-shard lookahead covers the coarser grid (Engine::handoff targets
+  /// must land at or past the *next barrier*, which is now further out);
+  /// violations fail loudly, so widening this is always safe to try.
+  /// Ignored when `next_barrier` is set.
+  int windows_per_barrier = 1;
+
+  /// Caps the worker-thread count at the host's hardware concurrency (and
+  /// at the shard count — surplus workers own no shards).  Results are
+  /// byte-identical either way; oversubscribing a compute-bound drain past
+  /// the physical cores only adds context-switch thrash, so production
+  /// runs leave this on.  The conformance/stress tests turn it off to
+  /// exercise real thread pools regardless of the host.
+  bool clamp_to_hardware = true;
+
   std::function<SimTime(SimTime)> next_barrier;
 };
 
@@ -97,6 +113,12 @@ using TraceCommitFn = void (*)(void* trace, SimTime t, std::uint8_t category,
 /// directly, as in serial mode).
 bool deferTraceRecord(void* trace, TraceCommitFn commit, SimTime t,
                       std::uint8_t category, int node, std::string&& message);
+
+/// Index of the worker executing the current parallel window on this
+/// thread, or -1 outside a window.  Lets shared observers (e.g. Fabric
+/// statistics) stripe their state per worker instead of contending on one
+/// cache line.
+int currentWorkerIndex();
 
 /// Exec-context baton for fiber switches: a fiber body runs on its own OS
 /// thread, so the waker snapshots its context (currentExecContext) and the
@@ -349,6 +371,14 @@ class Engine {
   /// *not* covered by the serial≡parallel identity guarantee.
   std::uint64_t droppedTombstones() const { return dropped_tombstones_; }
 
+  /// Event-node pool slots handed out since construction (high-water mark,
+  /// never shrinks).  A stable value across repeated runs of the same
+  /// workload proves the per-worker arenas recycle nodes instead of
+  /// growing the pool; see the arena tests in test_sim.cpp.
+  std::uint32_t poolSlots() const {
+    return node_count_.load(std::memory_order_relaxed);
+  }
+
   /// Total successful cancel() calls since construction.
   std::uint64_t cancelledEvents() const { return cancelled_; }
 
@@ -436,6 +466,21 @@ class Engine {
   static void heapPush(std::vector<QEntry>& heap, QEntry entry);
   static void heapPop(std::vector<QEntry>& heap);
 
+  /// Per-shard pending set during a parallel run.  Split in two so the hot
+  /// within-window drain never pays heap discipline: `near` holds the
+  /// current window's events sorted descending by (when, key) — back() is
+  /// the earliest, drain is pop_back, and intra-window arrivals use a
+  /// sorted insert (the calendar queue's late-arrival move) — while `far`
+  /// is a plain min-heap of everything at or past the window end (retry
+  /// timers, next-slice work).  Each worker owns its shards' queues for the
+  /// whole window; alignas(64) keeps neighbouring shards' headers off each
+  /// other's cache lines (the vector headers were the false-sharing suspect
+  /// in the flat shard_heaps_ layout this replaces).
+  struct alignas(64) ShardQueue {
+    std::vector<QEntry> near;  ///< current window, sorted desc, drain=pop_back
+    std::vector<QEntry> far;   ///< min-heap of events at/past the window end
+  };
+
   // ----- parallel driver (engine.cpp) -----
   void distributeToShards();
   void workerLoop(int w);
@@ -479,15 +524,21 @@ class Engine {
 
   // ----- parallel-run state (live only inside run(ParallelPolicy)) -----
   bool par_active_ = false;
-  std::vector<std::vector<QEntry>> shard_heaps_;  ///< per-shard min-heaps
+  std::vector<ShardQueue> shard_qs_;  ///< per-shard two-level queues
   std::vector<std::unique_ptr<detail::ExecContext>> ctxs_;
   std::vector<std::thread> workers_;
-  std::mutex par_mu_;
-  std::condition_variable par_cv_;
-  std::uint64_t window_gen_ = 0;  ///< bumped per window; workers wait on it
-  int workers_done_ = 0;
-  SimTime window_end_ = 0;
-  bool par_quit_ = false;
+
+  // Lock-free window barrier.  The coordinator publishes window_end_, then
+  // release-bumps window_gen_; workers acquire-load the generation (so the
+  // window end is visible), drain, and release-add workers_done_, which the
+  // coordinator acquire-polls before merging.  Each atomic sits on its own
+  // cache line so the barrier handshake never false-shares with anything.
+  // Waiters spin briefly then yield — on an oversubscribed host the yield
+  // path dominates, which is exactly right.
+  alignas(64) std::atomic<std::uint64_t> window_gen_{0};
+  alignas(64) std::atomic<int> workers_done_{0};
+  alignas(64) std::atomic<bool> par_quit_{false};
+  SimTime window_end_ = 0;  ///< published via the window_gen_ release/acquire
 };
 
 }  // namespace bcs::sim

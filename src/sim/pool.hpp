@@ -9,13 +9,24 @@
 // handles, but the control block's deleter returns the vector (capacity
 // intact) to a freelist instead of freeing it.
 //
+// Thread model: under parallel execution every worker thread acquires and
+// releases payloads, and a buffer acquired on one shard's worker is often
+// released on another's after a cross-shard handoff.  The freelist is
+// therefore striped: each stripe is an independently spin-locked freelist
+// sitting on its own cache line, and a thread hashes to a home stripe once
+// (thread_local), so the common same-thread acquire/release path never
+// contends with other workers.  Spinlocks (not mutexes) because the
+// critical section is a couple of pointer moves.
+//
 // Lifetime: the freelist state is itself held by shared_ptr and captured by
 // every deleter, so handles may outlive the pool object (events still queued
 // in the engine when the owning Runtime dies drop their buffers safely —
 // they just free instead of recycling once the pool is gone).
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace bcs::sim {
@@ -26,8 +37,13 @@ class PayloadPool {
   using Ptr = std::shared_ptr<Buffer>;
 
   /// Retaining more spare buffers than any realistic fan-out needs just
-  /// pins memory; beyond this the deleter lets buffers die normally.
+  /// pins memory; beyond this (per stripe) the deleter lets buffers die
+  /// normally.
   static constexpr std::size_t kMaxSpare = 64;
+
+  /// Power of two; comfortably more stripes than the engine runs workers,
+  /// so two workers rarely share one even with an unlucky hash.
+  static constexpr std::size_t kStripes = 8;
 
   PayloadPool() : state_(std::make_shared<State>()) {}
 
@@ -45,28 +61,71 @@ class PayloadPool {
     return wrap(raw);
   }
 
-  std::size_t spareBuffers() const { return state_->spare.size(); }
+  /// Total spare buffers across stripes.  Takes each stripe lock briefly;
+  /// diagnostic use only.
+  std::size_t spareBuffers() const {
+    std::size_t total = 0;
+    for (auto& stripe : state_->stripes) {
+      LockGuard guard(stripe.busy);
+      total += stripe.spare.size();
+    }
+    return total;
+  }
 
  private:
-  struct State {
+  struct alignas(64) Stripe {
+    mutable std::atomic_flag busy;  // default-initialized clear (C++20)
     std::vector<std::unique_ptr<Buffer>> spare;
   };
 
+  struct State {
+    Stripe stripes[kStripes];
+  };
+
+  struct LockGuard {
+    explicit LockGuard(std::atomic_flag& flag) : flag_(flag) {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+        // Two pointer moves inside; spinning beats parking by a margin.
+      }
+    }
+    ~LockGuard() { flag_.clear(std::memory_order_release); }
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+    std::atomic_flag& flag_;
+  };
+
+  static std::size_t homeStripe() {
+    static thread_local const std::size_t home =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kStripes;
+    return home;
+  }
+
   Buffer* grab() {
-    if (state_->spare.empty()) return new Buffer();
-    Buffer* raw = state_->spare.back().release();
-    state_->spare.pop_back();
-    return raw;
+    Stripe& stripe = state_->stripes[homeStripe()];
+    {
+      LockGuard guard(stripe.busy);
+      if (!stripe.spare.empty()) {
+        Buffer* raw = stripe.spare.back().release();
+        stripe.spare.pop_back();
+        return raw;
+      }
+    }
+    return new Buffer();
   }
 
   Ptr wrap(Buffer* raw) {
     return Ptr(raw, [st = state_](Buffer* b) {
-      if (st->spare.size() < kMaxSpare) {
-        b->clear();  // keeps capacity for the next acquire
-        st->spare.emplace_back(b);
-      } else {
-        delete b;
+      Stripe& stripe = st->stripes[homeStripe()];
+      {
+        LockGuard guard(stripe.busy);
+        if (stripe.spare.size() < kMaxSpare) {
+          b->clear();  // keeps capacity for the next acquire
+          stripe.spare.emplace_back(b);
+          return;
+        }
       }
+      delete b;
     });
   }
 

@@ -151,6 +151,7 @@ TEST(ParallelEngine, ShardedChainsMatchSerialAtAllThreadCounts) {
   for (int threads : kThreadCounts) {
     sim::ParallelPolicy policy;
     policy.threads = threads;
+    policy.clamp_to_hardware = false;
     const EngineOut par = runShardedChains(&policy);
     EXPECT_EQ(par, ref) << "threads=" << threads;
   }
@@ -160,6 +161,7 @@ TEST(ParallelEngine, CustomBarrierScheduleMatchesSerial) {
   const EngineOut ref = runShardedChains(nullptr);
   sim::ParallelPolicy policy;
   policy.threads = 4;
+  policy.clamp_to_hardware = false;
   // A finer, non-uniform barrier grid (250 us) must not change anything:
   // barriers are merge points, not events.
   policy.next_barrier = [](SimTime t) { return (t / usec(250) + 1) * usec(250); };
@@ -205,6 +207,7 @@ TEST(ParallelEngine, BoundedRunsResumeIdentically) {
   build(mixed, mixed_trace);
   sim::ParallelPolicy policy;
   policy.threads = 3;
+  policy.clamp_to_hardware = false;
   mixed.run(policy, usec(300));
   mixed.run(usec(700));  // serial middle segment
   mixed.run(policy);
@@ -280,6 +283,7 @@ TEST(ParallelEngine, ShardedFabricTrafficMatchesSerial) {
   for (int threads : kThreadCounts) {
     sim::ParallelPolicy policy;
     policy.threads = threads;
+    policy.clamp_to_hardware = false;
     policy.window = usec(1);  // <= min QsNet latency: lookahead is safe
     const TrafficOut par = runShardedTraffic(&policy);
     EXPECT_EQ(par, ref) << "threads=" << threads;
@@ -299,6 +303,7 @@ TEST(ParallelEngine, HandoffShortOfTheBarrierThrows) {
   });
   sim::ParallelPolicy policy;
   policy.threads = 2;
+  policy.clamp_to_hardware = false;
   EXPECT_THROW(eng.run(policy), sim::SimError);
 }
 
@@ -307,6 +312,7 @@ TEST(ParallelEngine, CrossShardAtOnDuringWindowThrows) {
   eng.atOn(1, usec(10), [&eng] { eng.atOn(0, eng.now() + usec(1), [] {}); });
   sim::ParallelPolicy policy;
   policy.threads = 2;
+  policy.clamp_to_hardware = false;
   EXPECT_THROW(eng.run(policy), sim::SimError);
 }
 
@@ -316,6 +322,7 @@ TEST(ParallelEngine, CrossShardCancelDuringWindowThrows) {
   eng.atOn(1, usec(10), [&eng, victim] { eng.cancel(victim); });
   sim::ParallelPolicy policy;
   policy.threads = 2;
+  policy.clamp_to_hardware = false;
   EXPECT_THROW(eng.run(policy), sim::SimError);
 }
 
@@ -328,6 +335,7 @@ TEST(ParallelEngine, BadPoliciesThrow) {
 
   sim::ParallelPolicy stuck;
   stuck.threads = 2;
+  stuck.clamp_to_hardware = false;
   stuck.next_barrier = [](SimTime t) { return t; };  // must advance
   EXPECT_THROW(eng.run(stuck), sim::SimError);
 }
@@ -403,7 +411,9 @@ ScenarioOut runFaultSoup(int threads) {
   });
 
   if (threads > 0) {
-    cluster.run(runtime->parallelPolicy(threads));
+    auto policy = runtime->parallelPolicy(threads);
+    policy.clamp_to_hardware = false;
+    cluster.run(policy);
   } else {
     cluster.run();
   }
@@ -470,7 +480,9 @@ ScenarioOut runSsCrashFailover(int threads) {
   });
 
   if (threads > 0) {
-    cluster.run(runtime->parallelPolicy(threads));
+    auto policy = runtime->parallelPolicy(threads);
+    policy.clamp_to_hardware = false;
+    cluster.run(policy);
   } else {
     cluster.run();
   }
@@ -523,7 +535,9 @@ ScenarioOut runVerifyOnClean(int threads) {
   });
 
   if (threads > 0) {
-    cluster.run(runtime->parallelPolicy(threads));
+    auto policy = runtime->parallelPolicy(threads);
+    policy.clamp_to_hardware = false;
+    cluster.run(policy);
   } else {
     cluster.run();
   }

@@ -1,0 +1,229 @@
+// Parallel engine stress tier (ctest label: par).
+//
+// test_parallel_engine pins the serial≡parallel contract on hand-picked
+// configurations; this file sweeps the configuration space instead —
+// randomized shard maps × thread counts {2, 3, 4, 8} × barrier window
+// sizes — so the shard-local arenas, batched handoff merge and lock-free
+// barrier added for the scaling work are exercised across placements they
+// were never tuned on.  Every combination must reproduce the serial trace
+// digest exactly; one flipped event order anywhere shows up as a diff.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "storm/storm.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::msec;
+using sim::SimTime;
+using sim::usec;
+
+const int kThreadCounts[] = {2, 3, 4, 8};
+
+// ---------------------------------------------------------------------------
+// Randomized shard maps over sharded fabric traffic
+// ---------------------------------------------------------------------------
+
+struct TrafficOut {
+  std::string trace;
+  std::uint64_t unicasts = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<int> received;
+  SimTime end = 0;
+
+  bool operator==(const TrafficOut&) const = default;
+};
+
+/// 16 nodes streaming 8 unicasts each to a stride-based partner under an
+/// arbitrary node→shard placement.  Same-shard sends use the full endpoint
+/// model, cross-shard sends deliver through Engine::handoff — which pair of
+/// paths each send takes depends entirely on the map, so the serial
+/// reference must run under the *same* map.
+TrafficOut runMappedTraffic(const std::vector<sim::ShardId>& map,
+                            const sim::ParallelPolicy* policy) {
+  constexpr int K = 16;
+  constexpr int kRounds = 8;
+
+  auto eng = std::make_shared<sim::Engine>();
+  auto trace = std::make_shared<sim::Trace>();
+  trace->enable();
+  auto fabric = std::make_shared<net::Fabric>(
+      *eng, net::NetworkParams::qsnet(), K, trace.get());
+  fabric->setShardMap(map);
+
+  auto received = std::make_shared<std::vector<int>>(K, 0);
+  auto send = std::make_shared<std::function<void(int, int)>>();
+  auto* sendp = send.get();  // raw self-reference; `send` outlives the run
+  *send = [fabric, trace, eng, received, sendp](int n, int round) {
+    if (round == kRounds) return;
+    const int dst = (n + 3 + round) % K;
+    fabric->unicast(
+        n, dst, 128 + 32 * static_cast<std::size_t>(n % 5),
+        /*on_delivered=*/
+        [trace, eng, received, dst, n, round] {
+          ++(*received)[static_cast<std::size_t>(dst)];
+          trace->record(eng->now(), sim::TraceCategory::kApp, dst,
+                        "got round " + std::to_string(round) + " from n" +
+                            std::to_string(n));
+        },
+        /*on_injected=*/[sendp, n, round] { (*sendp)(n, round + 1); });
+  };
+  for (int n = 0; n < K; ++n) {
+    eng->atOn(map[static_cast<std::size_t>(n)], usec(1) * n,
+              [send, n] { (*send)(n, 0); });
+  }
+
+  TrafficOut out;
+  out.end = policy ? eng->run(*policy) : eng->run();
+  out.trace = trace->dump();
+  out.unicasts = fabric->stats().unicasts;
+  out.executed = eng->executedEvents();
+  out.cancelled = eng->cancelledEvents();
+  out.received = *received;
+  return out;
+}
+
+TEST(ParallelStress, RandomShardMapsMatchSerialAcrossThreadsAndWindows) {
+  constexpr int K = 16;
+  // Window sizes at and below the 1 us bound that keeps every cross-shard
+  // delivery past the next barrier (QsNet's minimum end-to-end latency).
+  const SimTime kWindows[] = {usec(1), usec(1) / 2, usec(1) / 4};
+
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    sim::Rng rng(sim::deriveShardSeed(777, static_cast<std::uint16_t>(seed)));
+    // Between 2 and 9 shards; every node draws a shard independently, so
+    // maps range from near-balanced to heavily skewed, and some shards may
+    // own no node at all.
+    const sim::ShardId nshards = static_cast<sim::ShardId>(2 + rng() % 8);
+    std::vector<sim::ShardId> map(K);
+    for (auto& s : map) s = static_cast<sim::ShardId>(rng() % nshards);
+
+    const TrafficOut ref = runMappedTraffic(map, nullptr);
+    ASSERT_EQ(ref.unicasts, 16u * 8u) << "seed=" << seed;
+
+    for (int threads : kThreadCounts) {
+      for (SimTime window : kWindows) {
+        sim::ParallelPolicy policy;
+        policy.threads = threads;
+        policy.window = window;
+        policy.clamp_to_hardware = false;
+        const TrafficOut par = runMappedTraffic(map, &policy);
+        EXPECT_EQ(par, ref) << "seed=" << seed << " threads=" << threads
+                            << " window=" << window;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The 32-node fault soup across thread counts and barrier coarsening
+// ---------------------------------------------------------------------------
+
+struct SoupOut {
+  std::string trace;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::size_t unfinished = 0;
+  std::vector<std::uint64_t> numbers;
+
+  bool operator==(const SoupOut&) const = default;
+};
+
+/// The 32-node fault soup (5% drop + node 13 crash) from
+/// test_fault_injection.  All events live on shard 0 — the point is that
+/// the parallel driver (arenas, barrier publishes, merges) must degenerate
+/// to exact serial behaviour while idle workers spin alongside, including
+/// with barriers coarsened to every 2nd or 4th slice.
+SoupOut runFaultSoup(int threads, int slices_per_window) {
+  const int P = 32;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = 20260807;
+  ccfg.faults.dropRate(0.05);
+  ccfg.faults.crashNode(13, msec(6));
+  net::Cluster cluster(ccfg);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  storm::StormConfig scfg;
+  scfg.heartbeat_period = usec(500);
+  storm::Storm storm(cluster, scfg);
+  storm.setDeathHandler([&](int node) { runtime->notifyNodeFailure(node); });
+  storm.startHeartbeats();
+  cluster.engine().at(msec(120), [&] { storm.stopHeartbeats(); });
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  std::vector<int> completed(P, 0), failed(P, 0);
+  bcsmpi::launchJob(*runtime, map, [&](mpi::Comm& comm) {
+    const int me = comm.rank();
+    std::vector<std::uint8_t> out(1024), in(1024);
+    for (int round = 0; round < 8; ++round) {
+      const int partner = me ^ (1 + (round % 5));
+      if (partner >= P) continue;
+      auto sreq = comm.isend(out.data(), out.size(), partner, round);
+      auto rreq = comm.irecv(in.data(), in.size(), partner, round);
+      mpi::Status ss, rs;
+      comm.wait(sreq, &ss);
+      comm.wait(rreq, &rs);
+      auto& cell = (ss.error == mpi::kSuccess && rs.error == mpi::kSuccess)
+                       ? completed
+                       : failed;
+      ++cell[static_cast<std::size_t>(me)];
+    }
+  });
+
+  if (threads > 0) {
+    auto policy = runtime->parallelPolicy(threads, slices_per_window);
+    policy.clamp_to_hardware = false;
+    cluster.run(policy);
+  } else {
+    cluster.run();
+  }
+
+  SoupOut out;
+  out.trace = cluster.trace().dump();
+  out.executed = cluster.engine().executedEvents();
+  out.cancelled = cluster.engine().cancelledEvents();
+  out.unfinished = cluster.unfinishedProcesses().size();
+  out.numbers = {runtime->stats().evictions, runtime->stats().retransmits,
+                 runtime->stats().requests_failed,
+                 cluster.fabric().stats().drops,
+                 cluster.fabric().stats().unicasts,
+                 cluster.fabric().stats().payload_bytes};
+  for (int v : completed) out.numbers.push_back(static_cast<std::uint64_t>(v));
+  for (int v : failed) out.numbers.push_back(static_cast<std::uint64_t>(v));
+  return out;
+}
+
+TEST(ParallelStress, FaultSoupMatchesSerialAcrossThreadsAndCoarsening) {
+  const SoupOut ref = runFaultSoup(0, 1);
+  ASSERT_FALSE(ref.trace.empty());
+  ASSERT_GT(ref.executed, 1000u);
+
+  for (int threads : kThreadCounts) {
+    for (int spw : {1, 2, 4}) {
+      const SoupOut par = runFaultSoup(threads, spw);
+      EXPECT_EQ(par, ref) << "threads=" << threads
+                          << " slices_per_window=" << spw;
+    }
+  }
+}
+
+}  // namespace
