@@ -126,12 +126,20 @@ void BcsCore::xferAndSignal(XferRequest req) {
   }
 
   auto st = std::make_shared<XferRequest>(std::move(req));
-  auto per_dest = [this, st](int dest) {
-    if (st->deliver) st->deliver(dest);
-    if (st->remote_event >= 0) signalLocal(dest, st->remote_event);
-  };
+  // A request with neither per-destination data movement nor a remote event
+  // keeps the fabric's per-destination callback empty: the multicast then
+  // schedules no per-destination engine events at all, only the aggregate
+  // `on_all` completion — one event per fan-out, however wide.
+  std::function<void(int)> per_dest;
+  if (st->deliver || st->remote_event >= 0) {
+    per_dest = [this, st](int dest) {
+      if (st->deliver) st->deliver(dest);
+      if (st->remote_event >= 0) signalLocal(dest, st->remote_event);
+    };
+  }
   auto all_done = [this, st] {
     if (st->local_event >= 0) signalLocal(st->src_node, st->local_event);
+    if (st->on_all) st->on_all();
   };
 
   if (st->dest_nodes.size() == 1) {
@@ -144,7 +152,7 @@ void BcsCore::xferAndSignal(XferRequest req) {
     fabric_.unicast(
         st->src_node, dest, st->bytes,
         [per_dest, all_done, dest] {
-          per_dest(dest);
+          if (per_dest) per_dest(dest);
           all_done();
         },
         /*on_injected=*/{}, std::move(opts));

@@ -69,6 +69,12 @@ struct XferRequest {
   /// Invoked (instead of deliver/local_event) when a single-destination
   /// transfer is lost or the endpoint is down.  Without it, loss is silent.
   std::function<void(int dest)> on_failed;
+  /// Invoked once, at the instant the transfer has completed at every
+  /// destination.  With no `deliver` and no `remote_event` the hardware
+  /// multicast needs no per-destination completion at all — the NIC only
+  /// observes the aggregate — which is what makes a relay fan-out O(1) in
+  /// engine events instead of O(destinations) (see DESIGN.md §7).
+  std::function<void()> on_all;
 };
 
 /// Parameters of one Compare-And-Write invocation.

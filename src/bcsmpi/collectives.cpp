@@ -31,16 +31,15 @@ int Runtime::collectiveOwnerNode(const JobState& js,
 // BBM — Broadcast and Barrier Microphase (Collective Helper)
 // ---------------------------------------------------------------------------
 
-void Runtime::runBbm(int node, std::uint64_t seq) {
+int Runtime::collectReadyCollectives(int node, bool reduce_phase,
+                                     std::vector<int>& ready_jobs) {
   NodeState& ns = nodeState(node);
   int ops = 0;
-  std::vector<int> ready_jobs;
   for (auto& [job, pc] : ns.pending_coll) {
     if (!pc.active || pc.executing) continue;
-    if (pc.type != CollectiveType::kBarrier &&
-        pc.type != CollectiveType::kBcast) {
-      continue;
-    }
+    const bool is_reduce = pc.type == CollectiveType::kReduce ||
+                           pc.type == CollectiveType::kAllreduce;
+    if (is_reduce != reduce_phase) continue;
     // Scheduled iff the MSM's Compare-And-Write published the generation to
     // every node of the job.
     if (core_.readVar(node, jobState(job).coll_sched) < pc.gen) continue;
@@ -48,6 +47,13 @@ void Runtime::runBbm(int node, std::uint64_t seq) {
     ready_jobs.push_back(job);
     ++ops;
   }
+  return ops;
+}
+
+void Runtime::runBbm(int node, std::uint64_t seq) {
+  std::vector<int> ready_jobs;
+  const int ops = collectReadyCollectives(node, /*reduce_phase=*/false,
+                                          ready_jobs);
   beginNodePhase(node, seq, 0,
                  static_cast<Duration>(ops) * config_.nic_desc_processing);
   for (int job : ready_jobs) executeBroadcast(node, job);
@@ -129,20 +135,9 @@ void Runtime::executeBroadcast(int node, int job) {
 // ---------------------------------------------------------------------------
 
 void Runtime::runRm(int node, std::uint64_t seq) {
-  NodeState& ns = nodeState(node);
-  int ops = 0;
   std::vector<int> ready_jobs;
-  for (auto& [job, pc] : ns.pending_coll) {
-    if (!pc.active || pc.executing) continue;
-    if (pc.type != CollectiveType::kReduce &&
-        pc.type != CollectiveType::kAllreduce) {
-      continue;
-    }
-    if (core_.readVar(node, jobState(job).coll_sched) < pc.gen) continue;
-    pc.executing = true;
-    ready_jobs.push_back(job);
-    ++ops;
-  }
+  const int ops = collectReadyCollectives(node, /*reduce_phase=*/true,
+                                          ready_jobs);
   beginNodePhase(node, seq, 0,
                  static_cast<Duration>(ops) * config_.nic_desc_processing);
   for (int job : ready_jobs) executeReduce(node, job);

@@ -81,6 +81,17 @@ struct BcsMpiConfig {
   /// attributes IS's ~10% slowdown on a ~12 s run largely to this.
   Duration runtime_init_overhead = sim::msec(800);
 
+  /// Hierarchical Strobe-Sender tree (DESIGN.md §7).  0 = the paper's flat
+  /// control plane: one Strobe Sender multicasts every microstrobe to every
+  /// compute node and polls the full set with Compare-And-Write.  A positive
+  /// value groups compute nodes into racks of `tree_fanout` consecutive
+  /// indices; a rack-level SS relays each microstrobe to its members and
+  /// coalesces their completions into one upward ack, so the root only
+  /// touches O(racks) control messages per microphase instead of O(nodes).
+  /// Flat mode is byte-identical to the pre-tree runtime (the goldens pin
+  /// it); tree mode is replay-deterministic with its own goldens.
+  int tree_fanout = 0;
+
   /// Round-robin gang scheduling of multiple jobs at slice granularity
   /// (§5.4, first mitigation option).
   bool gang_scheduling = false;

@@ -395,6 +395,10 @@ void Runtime::runP2p(int node, std::uint64_t seq) {
   beginNodePhase(node, seq, 0,
                  static_cast<Duration>(gets.size()) *
                      config_.nic_desc_processing);
+  issueGets(node, gets);
+}
+
+void Runtime::issueGets(int node, const std::vector<GetOp>& gets) {
   for (const GetOp& op : gets) {
     const ProgressKey key{op.job, op.dst_rank, op.recv_req};
     if (nodeEvicted(op.src_node)) {

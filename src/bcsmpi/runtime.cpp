@@ -44,6 +44,12 @@ Runtime::Runtime(net::Cluster& cluster, BcsMpiConfig config)
   strobe_event_ = core_.allocEvent("microstrobe");
   coll_done_event_ = core_.allocEvent("collective-done");
   strobe_node_ = cluster.managementNode();
+  tree_mode_ = config_.tree_fanout > 0;
+  if (tree_mode_) {
+    sstree_ = storm::SsTree(cluster.numComputeNodes(), config_.tree_fanout);
+    tree_racks_.resize(static_cast<std::size_t>(sstree_.rackCount()));
+  }
+  stats_.tree_levels = static_cast<std::uint64_t>(sstree_.levels());
   if (config_.verify) {
     verifier_ = std::make_unique<verify::Verifier>(
         trace_, config_.verify_max_findings);
@@ -388,6 +394,7 @@ void Runtime::startSlice() {
   ++slice_index_;
   ++stats_.slices;
   slice_start_ = cluster_.engine().now();
+  root_msgs_slice_ = 0;
   strobePhase(Phase::kDem);
 }
 
@@ -447,6 +454,13 @@ void Runtime::strobePhase(Phase p) {
                    std::string("microstrobe ") + phaseName(p) + " slice " +
                        std::to_string(slice_index_));
   }
+  if (tree_mode_) {
+    // Hierarchical control plane: strobe the rack-level SSes only; they
+    // relay to their members and coalesce the completions (tree.cpp).
+    strobePhaseTree(p, seq);
+    return;
+  }
+  root_msgs_slice_ += live_compute_nodes_.size();
   core::XferRequest strobe;
   strobe.src_node = strobe_node_;
   strobe.dest_nodes = live_compute_nodes_;
@@ -473,6 +487,7 @@ void Runtime::pollPhaseDone(Phase p, std::uint64_t seq) {
   // The node set is rebuilt on every poll round, so an eviction that happens
   // while a phase is stuck immediately unblocks the next poll: the dead node
   // (whose phase_done can never advance) is simply no longer asked.
+  ++root_msgs_slice_;
   core::CompareAndWriteRequest req;
   req.src_node = strobe_node_;
   req.nodes = live_compute_nodes_;
@@ -506,6 +521,7 @@ void Runtime::phaseComplete(Phase p) {
   }
   // Slice finished.  Stop if all work is done, otherwise schedule the next
   // slice on the fixed period grid.
+  stats_.fanout_msgs_per_slice = root_msgs_slice_;
   maybeStop();
   if (stop_requested_) {
     strobing_ = false;
@@ -641,6 +657,9 @@ void Runtime::runVerifyAudit() {
                " local rank(s)) never globally scheduled");
     }
   }
+  // Tree mode: walk the per-rack SS queues in rack order so a coalesced ack
+  // stuck below the root is reported with rack provenance (tree.cpp).
+  if (tree_mode_) treeAudit(v, now);
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     const JobState& js = jobs_[j];
     for (std::size_t r = 0; r < js.ranks.size(); ++r) {
@@ -673,8 +692,11 @@ void Runtime::opStarted(int node) { ++nodeState(node).outstanding; }
 void Runtime::opFinished(int node) {
   NodeState& ns = nodeState(node);
   if (--ns.outstanding == 0) {
+    // The phase_done replica is written in both modes: tree-mode recovery
+    // after a root election still quiesces via this variable.
     core_.writeVarLocal(node, phase_done_var_,
                         static_cast<std::int64_t>(ns.phase_seq));
+    if (tree_mode_) treeMemberDone(node);
   }
 }
 
@@ -731,6 +753,10 @@ void Runtime::notifyNodeFailure(int node) {
     trace_->record(cluster_.engine().now(), sim::TraceCategory::kFault, node,
                    "node evicted; recovery at next slice boundary");
   }
+  // Tree repair runs immediately (not at the boundary): the in-flight
+  // microphase must be able to finish without the dead member, and a dead
+  // rack SS needs a successor before the rack can ack anything.
+  if (tree_mode_) treeHandleEviction(node);
 }
 
 void Runtime::performRecovery() {
@@ -894,6 +920,12 @@ void Runtime::onWatchdog(int node) {
                        std::to_string(config_.watchdog_slices) + " slices");
   }
   if (live_compute_nodes_.empty()) return;
+  if (tree_mode_) {
+    // Two-level suspicion ladder: rack SSes suspect the root, plain members
+    // suspect their rack SS (tree.cpp).
+    onWatchdogTree(node);
+    return;
+  }
   if (node != live_compute_nodes_.front()) {
     // Not the election leader: keep watching.  The lowest-id live node runs
     // the claim; everyone converges on the same leader deterministically.
@@ -1074,6 +1106,7 @@ void Runtime::performRejoins() {
     if (!ns.watchdog_armed) {
       armWatchdogAt(node, ns.last_strobe + watchdogTimeout());
     }
+    if (tree_mode_) treeHandleRejoin(node);
   }
 }
 

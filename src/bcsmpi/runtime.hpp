@@ -41,6 +41,7 @@
 #include "net/cluster.hpp"
 #include "sim/pool.hpp"
 #include "sim/process.hpp"
+#include "storm/sstree.hpp"
 #include "verify/verify.hpp"
 
 namespace bcs::bcsmpi {
@@ -113,8 +114,17 @@ struct RuntimeStats {
   std::uint64_t watchdog_fires = 0;   ///< slice watchdogs that expired
   std::uint64_t elections = 0;        ///< successful backup-SS promotions
   std::uint64_t rejoins = 0;          ///< evicted nodes reintegrated
+  // Hierarchical control plane (BcsMpiConfig::tree_fanout, DESIGN.md §7):
+  std::uint64_t tree_levels = 0;      ///< strobe fan-out levels (1 = flat)
+  std::uint64_t coalesced_acks = 0;   ///< rack completions coalesced upward
+  /// Control messages the root Strobe Sender touched in the last completed
+  /// slice (strobe destinations + completion traffic): O(nodes) flat,
+  /// O(racks) with the SS tree — the aggregation win, observable directly.
+  std::uint64_t fanout_msgs_per_slice = 0;
 
   /// Zeroes every counter (interval measurements around a workload).
+  /// Prefer Runtime::resetStats, which preserves structural gauges like
+  /// tree_levels across the reset.
   void reset() { *this = RuntimeStats{}; }
 };
 
@@ -126,6 +136,16 @@ class Runtime {
   const BcsMpiConfig& config() const { return config_; }
   core::BcsCore& core() { return core_; }
   const RuntimeStats& stats() const { return stats_; }
+
+  /// Zeroes the interval counters (slices, strobes, descriptors, ...) while
+  /// preserving structural gauges — tree_levels describes the configured
+  /// control plane, not accumulated work, and must survive an interval
+  /// reset.
+  void resetStats() {
+    const std::uint64_t levels = stats_.tree_levels;
+    stats_.reset();
+    stats_.tree_levels = levels;
+  }
 
   // ---- Job and process management ----
 
@@ -385,10 +405,25 @@ class Runtime {
     // Microphase completion tracking
     std::uint64_t phase_seq = 0;
     int outstanding = 0;
+    // Tree mode (tree_fanout > 0): tokens released by rack-level events
+    // rather than per-node timers.  `tree_floor` marks the phase-floor token
+    // the rack's shared floor event releases; `tree_drain` marks the DEM
+    // FIFO-drain token the rack's shared drain event releases.
+    bool tree_floor = false;
+    bool tree_drain = false;
     // Slice watchdog (Strobe Receiver side of control-plane failover).
     SimTime last_strobe = 0;
     sim::EventId watchdog{};
     bool watchdog_armed = false;
+  };
+
+  /// Per-rack strobe-protocol state (tree mode).  Role/membership live in
+  /// storm::SsTree (sstree_); this is the in-flight microphase bookkeeping
+  /// the rack SS keeps alongside.
+  struct TreeRackState {
+    std::uint64_t seq = 0;        ///< newest microphase relayed to members
+    std::uint64_t acked_seq = 0;  ///< newest microphase acked to the root
+    int pending = 0;              ///< members still busy with `seq`
   };
 
   // ---- Strobe Sender (management node) ----
@@ -416,6 +451,33 @@ class Runtime {
   void matchDescriptors(int node, Duration& cost);
   void scheduleChunks(int node);
   void scheduleCollectiveQueries(int node);
+  /// Issues the DH gets of one P2P microphase (shared by the flat and tree
+  /// strobe paths; behavior-identical to the historical runP2p loop).
+  void issueGets(int node, const std::vector<GetOp>& gets);
+  /// CH/RM pickup: marks schedulable collectives of the requested kind
+  /// (reduce_phase selects RM's reduce/allreduce vs BBM's bcast/barrier)
+  /// executing and returns how many were picked up.
+  int collectReadyCollectives(int node, bool reduce_phase,
+                              std::vector<int>& ready_jobs);
+
+  // Hierarchical control plane (tree.cpp; active iff tree_fanout > 0).
+  void strobePhaseTree(Phase p, std::uint64_t seq);
+  void onRackStrobe(int rack, Phase p, std::uint64_t seq);
+  void rackFanout(int rack, Phase p, std::uint64_t seq);
+  Duration treeInitMember(int node, Phase p, std::uint64_t seq);
+  bool treeMemberIdle(const NodeState& ns, Phase p) const;
+  void treeReleaseFloor(int rack, std::uint64_t seq);
+  void treeDrain(int rack, std::uint64_t seq);
+  void treeMemberDone(int node);
+  void sendRackAck(int rack, std::uint64_t seq);
+  void onRackAck(int rack, std::uint64_t seq);
+  void maybeTreePhaseDone();
+  void treeRecover();
+  void onWatchdogTree(int node);
+  void beginTreeElection(int node);
+  void treeHandleEviction(int node);
+  void treeHandleRejoin(int node);
+  void treeAudit(verify::Verifier& v, SimTime now);
 
   // CH / RH helpers (collectives.cpp)
   using Payload = std::shared_ptr<std::vector<std::byte>>;
@@ -498,6 +560,23 @@ class Runtime {
   std::uint64_t phase_seq_ = 0;
   std::uint64_t desc_seq_ = 0;
   int active_ranks_ = 0;
+
+  // Hierarchical control plane (DESIGN.md §7).
+  bool tree_mode_ = false;             ///< config_.tree_fanout > 0, cached
+  storm::SsTree sstree_;               ///< rack membership + SS roles
+  std::vector<TreeRackState> tree_racks_;
+  Phase tree_phase_ = Phase::kDem;     ///< microphase currently in flight
+  /// True while a tree microphase is collecting rack acks.  Guards
+  /// maybeTreePhaseDone against double-advancing when an eviction (or a
+  /// duplicate ack) lands between phases.
+  bool tree_phase_open_ = false;
+  /// A promoted root is re-collecting acks for the interrupted microphase;
+  /// once they all arrive the slice is abandoned and the strobe resumes on
+  /// the period grid (mirroring the flat recoverPhase semantics).
+  bool tree_recovering_ = false;
+  /// Control messages the root touched since the slice started (both
+  /// modes); snapshotted into stats_.fanout_msgs_per_slice at slice end.
+  std::uint64_t root_msgs_slice_ = 0;
 
   std::vector<std::function<void(const CheckpointRecord&)>> checkpoint_cbs_;
 

@@ -1,5 +1,7 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
+
 namespace bcs::net {
 
 FatTree::FatTree(int num_nodes, int radix)
@@ -32,6 +34,36 @@ int FatTree::lcaLevel(int a, int b) const {
 int FatTree::hops(int a, int b) const {
   if (a == b) return 0;
   return 2 * lcaLevel(a, b) - 1;
+}
+
+RackLayout::RackLayout(int num_nodes, int fanout)
+    : num_nodes_(num_nodes), fanout_(fanout) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("RackLayout: num_nodes <= 0");
+  }
+  if (fanout <= 0) throw std::invalid_argument("RackLayout: fanout <= 0");
+  rack_count_ = (num_nodes_ + fanout_ - 1) / fanout_;
+}
+
+int RackLayout::rackOf(int n) const {
+  if (n < 0 || n >= num_nodes_) {
+    throw std::out_of_range("RackLayout::rackOf: node out of range");
+  }
+  return n / fanout_;
+}
+
+int RackLayout::rackFirst(int r) const {
+  if (r < 0 || r >= rack_count_) {
+    throw std::out_of_range("RackLayout::rackFirst: rack out of range");
+  }
+  return r * fanout_;
+}
+
+int RackLayout::rackSize(int r) const {
+  if (r < 0 || r >= rack_count_) {
+    throw std::out_of_range("RackLayout::rackSize: rack out of range");
+  }
+  return std::min(num_nodes_, (r + 1) * fanout_) - r * fanout_;
 }
 
 }  // namespace bcs::net

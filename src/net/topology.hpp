@@ -34,4 +34,33 @@ class FatTree {
   int levels_;
 };
 
+/// Rack grouping for the hierarchical control plane (DESIGN.md §7): compute
+/// nodes are partitioned into racks of `fanout` consecutive indices —
+/// [0, fanout), [fanout, 2*fanout), ... — matching how a fat tree places
+/// physically adjacent leaves under one edge switch, so a rack-local
+/// multicast stays within one switch subtree.  Pure index arithmetic; the
+/// live membership bookkeeping on top of it lives in storm::SsTree.
+class RackLayout {
+ public:
+  RackLayout(int num_nodes, int fanout);
+
+  int numNodes() const { return num_nodes_; }
+  int fanout() const { return fanout_; }
+  int rackCount() const { return rack_count_; }
+
+  /// Rack that node `n` belongs to.
+  int rackOf(int n) const;
+
+  /// Lowest node index of rack `r`.
+  int rackFirst(int r) const;
+
+  /// Number of nodes in rack `r` (the last rack may be short).
+  int rackSize(int r) const;
+
+ private:
+  int num_nodes_;
+  int fanout_;
+  int rack_count_;
+};
+
 }  // namespace bcs::net

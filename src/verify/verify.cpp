@@ -57,6 +57,7 @@ const char* categoryName(Category c) {
     case Category::kLeakedDescriptor: return "leaked-descriptor";
     case Category::kUnfinishedRequest: return "unfinished-request";
     case Category::kOrphanedRetransmit: return "orphaned-retransmit";
+    case Category::kLeakedAck: return "leaked-coalesced-ack";
   }
   return "?";
 }

@@ -58,8 +58,9 @@ enum class Category : int {
   kLeakedDescriptor,          ///< descriptor still queued at finalize
   kUnfinishedRequest,         ///< request never completed
   kOrphanedRetransmit,        ///< retry/chunk accounting left behind
+  kLeakedAck,                 ///< rack coalesced-ack buffer never drained
 };
-inline constexpr int kNumCategories = 6;
+inline constexpr int kNumCategories = 7;
 
 const char* categoryName(Category c);
 

@@ -194,6 +194,42 @@ inline std::string traceParSoupImpl(bool parallel) {
 
 inline std::string traceParSoup() { return traceParSoupImpl(true); }
 
+/// Hierarchical control plane (BcsMpiConfig::tree_fanout, DESIGN.md §7):
+/// 32 nodes at fanout 8 — four racks — running a neighbour exchange plus an
+/// allreduce that crosses rack boundaries.  Tree-mode schedules are
+/// deliberately coarser than flat (rack-shared floor and drain events), so
+/// this pins the tree schedule itself; the other scenarios keep pinning the
+/// flat one.
+inline std::string traceTreeExchange() {
+  const int P = 32;
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = P;
+  net::Cluster cluster(machine);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(100);
+  cfg.tree_fanout = 8;
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  bcsmpi::launchJob(*runtime, map, [](mpi::Comm& comm) {
+    const int me = comm.rank();
+    const int P2 = comm.size();
+    std::vector<std::uint8_t> out(1024), in(1024);
+    for (int round = 0; round < 4; ++round) {
+      auto sreq = comm.isend(out.data(), out.size(), (me + 1) % P2, round);
+      auto rreq = comm.irecv(in.data(), in.size(), (me + P2 - 1) % P2, round);
+      comm.wait(sreq, nullptr);
+      comm.wait(rreq, nullptr);
+    }
+    (void)comm.allreduceOne(me * 1.0, mpi::ReduceOp::kSum);
+  });
+  cluster.run();
+  return cluster.trace().dump();
+}
+
 struct Scenario {
   const char* name;
   std::string (*generate)();
@@ -204,6 +240,7 @@ inline const Scenario kScenarios[] = {
     {"collectives_tour", &traceCollectivesTour},
     {"sweep3d", &traceSweep3d},
     {"par_soup", &traceParSoup},
+    {"tree_exchange", &traceTreeExchange},
 };
 
 }  // namespace bcs::golden

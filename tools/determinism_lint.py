@@ -4,8 +4,9 @@
 The repository's central guarantee is byte-identical replay: same (seed,
 plan) => identical traces (tests/test_determinism.cpp).  That guarantee is
 only as strong as the absence of nondeterminism *sources* in the simulated
-paths, so this checker mechanically bans them in src/sim and src/bcsmpi
-(and src/verify, which observes those paths):
+paths, so this checker mechanically bans them in src/sim, src/bcsmpi and
+src/storm (the strobe-sender tree lives there) — and src/verify, which
+observes those paths:
 
   1. Wall-clock / host-entropy / host-environment calls: rand(), srand(),
      std::random_device, getenv, system_clock, steady_clock,
@@ -30,15 +31,15 @@ Zero third-party dependencies; line/regex based by design so it runs
 anywhere a Python interpreter exists, with no compiler involvement.
 
 Usage: tools/determinism_lint.py [paths...]   (default: src/sim src/bcsmpi
-src/verify, relative to the repository root, which is inferred from this
-file's location)
+src/storm src/verify, relative to the repository root, which is inferred
+from this file's location)
 """
 
 import re
 import sys
 from pathlib import Path
 
-DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/verify"]
+DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/storm", "src/verify"]
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 
 BANNED = [
