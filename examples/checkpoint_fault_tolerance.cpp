@@ -2,143 +2,114 @@
 // communication behavior at system level could provide a solid
 // infrastructure for implementing transparent fault tolerance."
 //
-// This example shows the two halves of that infrastructure working:
+// This example runs that argument end to end with src/snapshot:
 //
-//   1. Coordinated checkpoints: because all communication is globally
-//      scheduled, the machine state at every slice boundary is consistent
-//      by construction — no marker algorithms, no message draining.  We
-//      snapshot a running job every few milliseconds, for free.
-//   2. Failure detection: STORM's heartbeat protocol (built on the same
-//      BCS core primitives) notices a dead node within a few beats.
-//
-// Together they answer "from which globally consistent state can the job
-// restart, and when do we know we must?"
+//   1. Periodic coordinated checkpoints: every slice boundary is a globally
+//      consistent state by construction, so the runtime's periodic hook
+//      (BcsMpiConfig::checkpoint_every_slices) just serializes the whole
+//      machine — no marker algorithm, no message draining.
+//   2. Crash and restore: the run is killed mid-flight; a *fresh* stack is
+//      restored from the last snapshot and continues byte-identically
+//      (the spliced trace equals the uninterrupted run's).
+//   3. Branching what-if replay: the same snapshot is forked a second time
+//      with the node crash edited out of the FaultPlan, showing what the
+//      machine would have done had the node survived.
 //
 //   $ ./examples/checkpoint_fault_tolerance
+//   (inspect the snapshot it leaves behind with
+//    tools/snapshot_inspect.py checkpoint_fault_tolerance.bcss)
 
 #include <cstdint>
 #include <cstdio>
-#include <memory>
+#include <fstream>
+#include <string>
 #include <vector>
 
-#include "bcsmpi/comm.hpp"
-#include "net/cluster.hpp"
-#include "storm/storm.hpp"
+#include "sim/time.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/scenario.hpp"
 
 int main() {
   using namespace bcs;
+  using snapshot::ScenarioSpec;
+  using snapshot::Simulation;
 
-  net::ClusterConfig machine;
-  machine.num_compute_nodes = 8;
-  net::Cluster cluster(machine);
+  // The 32-node fault soup: 5% packet loss, STORM heartbeats wired into the
+  // runtime's recovery machinery, and node 13 crashing at 6 ms.
+  ScenarioSpec spec = snapshot::ckptSoup(/*verify=*/true);
+  spec.mpi.checkpoint_every_slices = 8;  // a snapshot every 4 ms of simtime
+  const sim::SimTime horizon = sim::msec(30);
 
-  storm::StormConfig scfg;
-  scfg.heartbeat_period = sim::msec(2);
-  scfg.max_missed_heartbeats = 3;
-  storm::Storm storm(cluster, scfg);
-  storm.startHeartbeats();
+  // --- Reference: the uninterrupted run ----------------------------------
+  Simulation reference = snapshot::build(spec);
+  reference.cluster->run(horizon);
+  const std::string reference_trace = reference.cluster->trace().dump();
 
-  bcsmpi::BcsMpiConfig cfg;
-  cfg.runtime_init_overhead = sim::usec(200);
-  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  // --- Checkpointed run, killed mid-flight -------------------------------
+  Simulation live = snapshot::build(spec);
+  std::vector<std::uint8_t> blob;        // most recent snapshot
+  std::vector<std::uint8_t> pre_crash;   // first snapshot (4.2 ms < 6 ms)
+  std::uint64_t blob_slice = 0;
+  live.runtime->setSnapshotSink([&live, &blob, &pre_crash, &blob_slice](
+                                    std::uint64_t slice) {
+    blob = snapshot::capture(live);
+    if (pre_crash.empty()) pre_crash = blob;
+    blob_slice = slice;
+    std::printf("checkpoint at slice %4llu (%s): %zu bytes\n",
+                static_cast<unsigned long long>(slice),
+                sim::formatTime(live.cluster->engine().now()).c_str(),
+                blob.size());
+  });
+  live.cluster->run(sim::msec(12));  // "crash": the process stops here
+  const std::string live_trace = live.cluster->trace().dump();
+  std::printf("\nrun killed at 12 ms with %llu checkpoint(s) taken\n",
+              static_cast<unsigned long long>(
+                  live.runtime->stats().checkpoints_taken));
 
-  // Wire STORM's fault view into the runtime: a death declaration evicts the
-  // node at the next slice boundary (coordinated recovery), a resumed node
-  // rejoins, and if the management node itself dies the elected backup
-  // Strobe Sender takes over the Machine Manager duties too.
-  storm.setDeathHandler([&](int node) { runtime->notifyNodeFailure(node); });
-  storm.setRejoinHandler([&](int node) { runtime->notifyNodeRejoin(node); });
-  runtime->setFailoverHandler(
-      [&](int node, std::uint64_t) { storm.failoverTo(node); });
-
-  // A communication-heavy job: SAGE-shaped steps (compute, non-blocking halo
-  // exchange with the ring neighbours, closing allreduce).  Unlike the
-  // pristine apps::sage skeleton — which verifies every halo byte and so
-  // belongs on a healthy machine — this body honours the degraded-job
-  // contract: after the eviction, requests touching the dead node complete
-  // *in error* (mpi::kErrPeerUnreachable) and the survivors keep stepping.
-  constexpr int kSteps = 6;
-  constexpr std::size_t kHaloBytes = 32 * 1024;
-  auto errored_requests = std::make_shared<int>(0);
-  bcsmpi::launchJob(
-      *runtime, {0, 1, 2, 3, 4, 5, 6, 7}, [errored_requests](mpi::Comm& c) {
-        const int left = (c.rank() + c.size() - 1) % c.size();
-        const int right = (c.rank() + 1) % c.size();
-        std::vector<std::uint8_t> out(kHaloBytes,
-                                      static_cast<std::uint8_t>(c.rank()));
-        std::vector<std::uint8_t> in_l(kHaloBytes), in_r(kHaloBytes);
-        for (int step = 0; step < kSteps; ++step) {
-          c.compute(sim::msec(3));
-          mpi::Request reqs[] = {c.irecv(in_l.data(), kHaloBytes, left, step),
-                                 c.irecv(in_r.data(), kHaloBytes, right, step),
-                                 c.isend(out.data(), kHaloBytes, left, step),
-                                 c.isend(out.data(), kHaloBytes, right, step)};
-          for (auto& r : reqs) {
-            mpi::Status st;
-            c.wait(r, &st);
-            if (st.error != mpi::kSuccess) ++*errored_requests;
-          }
-          (void)c.allreduceOne(1e-3 * (c.rank() + step), mpi::ReduceOp::kSum);
-        }
-      });
-
-  // Periodic coordinated checkpoints, every ~4 ms of simulated time.
-  std::vector<bcsmpi::CheckpointRecord> checkpoints;
-  std::function<void()> arm = [&] {
-    runtime->requestCheckpoint([&](const bcsmpi::CheckpointRecord& r) {
-      checkpoints.push_back(r);
-      cluster.engine().after(sim::msec(4), arm);
-    });
-  };
-  cluster.engine().at(sim::msec(2), arm);
-
-  // Fault injection: node 5 dies mid-run.
-  sim::SimTime death_detected = -1;
-  cluster.engine().at(sim::msec(9), [&] { storm.killNode(5); });
-  // Poll the MM's fault view until it notices (heartbeat-driven).
-  auto watch = std::make_shared<std::function<void()>>();
-  *watch = [&, watch] {
-    if (!storm.nodeAlive(5)) {
-      if (death_detected < 0) death_detected = cluster.engine().now();
-      return;
-    }
-    cluster.engine().after(sim::msec(1), *watch);
-  };
-  cluster.engine().at(sim::msec(10), [watch] { (*watch)(); });
-  cluster.engine().at(sim::msec(60), [&] { storm.stopHeartbeats(); });
-
-  cluster.run();
-
-  std::printf("checkpoints taken: %zu\n", checkpoints.size());
-  for (const auto& r : checkpoints) {
-    std::size_t partial = 0;
-    for (const auto& n : r.nodes) partial += n.partial_messages;
-    std::printf(
-        "  slice %4llu @ %10s  requests %llu/%llu complete, %zu message(s) "
-        "mid-chunking, %s\n",
-        static_cast<unsigned long long>(r.slice),
-        sim::formatTime(r.time).c_str(),
-        static_cast<unsigned long long>(r.jobs[0].requests_completed),
-        static_cast<unsigned long long>(r.jobs[0].requests_posted), partial,
-        r.quiescent ? "quiescent" : "in-flight state recorded");
+  {
+    std::ofstream out("checkpoint_fault_tolerance.bcss",
+                      std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
   }
-  if (death_detected >= 0) {
-    std::printf("\nnode 5 killed at 9 ms; MM declared it dead at %s\n",
-                sim::formatTime(death_detected).c_str());
-    // Restart decision: the last checkpoint at or before detection.
-    const bcsmpi::CheckpointRecord* restart = nullptr;
-    for (const auto& r : checkpoints) {
-      if (r.time <= death_detected) restart = &r;
-    }
-    if (restart) {
-      std::printf("restart candidate: slice %llu (%s) — globally consistent "
-                  "by construction\n",
-                  static_cast<unsigned long long>(restart->slice),
-                  sim::formatTime(restart->time).c_str());
-    }
-  }
-  std::printf("job completed degraded: %d request(s) finished in error "
-              "(kErrPeerUnreachable)\n",
-              *errored_requests);
-  return 0;
+
+  // --- Restore into a fresh stack and continue ---------------------------
+  Simulation resumed = snapshot::restore(spec, blob);
+  resumed.cluster->run(horizon);
+  const std::uint64_t prefix = snapshot::traceDumpBytesAt(blob);
+  const std::string spliced =
+      live_trace.substr(0, static_cast<std::size_t>(prefix)) +
+      resumed.cluster->trace().dump();
+  std::printf("restored from slice %llu into a fresh process: spliced trace "
+              "%s the uninterrupted run's (%zu bytes)\n",
+              static_cast<unsigned long long>(blob_slice),
+              spliced == reference_trace ? "MATCHES" : "DIFFERS FROM",
+              reference_trace.size());
+  std::printf("  evictions %llu, rejoins %llu, requests failed %llu "
+              "(node 13's crash rides through the restore)\n",
+              static_cast<unsigned long long>(
+                  resumed.runtime->stats().evictions),
+              static_cast<unsigned long long>(resumed.runtime->stats().rejoins),
+              static_cast<unsigned long long>(
+                  resumed.runtime->stats().requests_failed));
+
+  // --- Branching what-if replay: pre-crash snapshot, crash edited out ----
+  ScenarioSpec what_if = spec;
+  what_if.cluster.faults = sim::FaultPlan{};
+  what_if.cluster.faults.dropRate(0.05);  // keep the loss, drop the crash
+  Simulation branch = snapshot::restore(what_if, pre_crash);
+  branch.cluster->run(horizon);
+  std::printf("\nwhat-if branch (pre-crash snapshot, crash removed from the "
+              "FaultPlan):\n");
+  std::printf("  evictions %llu, requests failed %llu — the machine sails "
+              "on; traces diverge only after the fork point\n",
+              static_cast<unsigned long long>(
+                  branch.runtime->stats().evictions),
+              static_cast<unsigned long long>(
+                  branch.runtime->stats().requests_failed));
+  std::printf("  divergent futures from one consistent past: branch trace "
+              "%zu bytes vs %zu with the crash\n",
+              branch.cluster->trace().dump().size(),
+              resumed.cluster->trace().dump().size());
+  return spliced == reference_trace ? 0 : 1;
 }

@@ -166,6 +166,11 @@ class BcsCore {
   std::vector<std::string> var_names_;
   std::vector<std::vector<EventState>> events_;
   std::vector<std::string> event_names_;
+
+  /// Snapshot serializer (src/snapshot): global-variable replicas and event
+  /// pending counts round-trip; capture refuses while any event has queued
+  /// waiters (closures cannot be serialized — the slice boundary has none).
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::core

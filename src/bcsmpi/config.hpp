@@ -106,6 +106,13 @@ struct BcsMpiConfig {
   /// Retention cap on verifier findings; the per-category counters keep
   /// counting past it (pathological runs stay bounded in memory).
   std::size_t verify_max_findings = 256;
+
+  /// Periodic full-state checkpoint cadence (src/snapshot, DESIGN.md §8):
+  /// when > 0 and a sink is installed via Runtime::setSnapshotSink, the sink
+  /// fires at every Nth slice boundary — the paper's §6 claim made concrete:
+  /// the boundary is globally consistent by construction, so the snapshot
+  /// needs no marker algorithm or message draining.  0 = off.
+  std::uint64_t checkpoint_every_slices = 0;
 };
 
 }  // namespace bcs::bcsmpi

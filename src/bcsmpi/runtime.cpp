@@ -109,6 +109,30 @@ void Runtime::registerProcess(int job, int rank, sim::Process& proc) {
   }
 }
 
+void Runtime::registerDetachedRank(int job, int rank) {
+  JobState& js = jobState(job);
+  RankState& rs = rankState(job, rank);
+  if (rs.proc != nullptr || rs.detached) {
+    throw sim::SimError("registerDetachedRank: duplicate registration");
+  }
+  rs.detached = true;
+  ++js.registered;
+  ++active_ranks_;
+  // Same bring-up charge as registerProcess, but without a fiber to bill it
+  // to: the rank becomes communication-ready after the init overhead.
+  const SimTime ready = cluster_.engine().now() + config_.runtime_init_overhead;
+  NodeState& ns = nodeState(rs.node);
+  ns.last_strobe = std::max(ns.last_strobe, ready);
+  if (!ns.watchdog_armed) {
+    armWatchdogAt(rs.node, ns.last_strobe + watchdogTimeout());
+  }
+  if (!strobing_) {
+    strobing_ = true;
+    slice_start_ = ready;
+    cluster_.engine().at(ready, [this] { startSlice(); });
+  }
+}
+
 void Runtime::rankFinished(int job, int rank) {
   JobState& js = jobState(job);
   RankState& rs = rankState(job, rank);
@@ -151,7 +175,7 @@ std::uint64_t Runtime::postSend(int job, int rank, const void* buf,
                         std::to_string(dst));
   }
   RankState& rs = rankState(job, rank);
-  rs.proc->compute(config_.post_overhead);
+  if (rs.proc) rs.proc->compute(config_.post_overhead);
   const std::uint64_t req = rs.next_req++;
   rs.requests.emplace(req, ReqInfo{});
 
@@ -163,7 +187,7 @@ std::uint64_t Runtime::postSend(int job, int rank, const void* buf,
   d.data = static_cast<const std::byte*>(buf);
   d.bytes = bytes;
   d.request = req;
-  d.posted_at = rs.proc->now();
+  d.posted_at = rs.proc ? rs.proc->now() : cluster_.engine().now();
   d.seq = ++desc_seq_;
   nodeState(rs.node).bs_fresh.push_back(d);
   return req;
@@ -172,7 +196,7 @@ std::uint64_t Runtime::postSend(int job, int rank, const void* buf,
 std::uint64_t Runtime::postRecv(int job, int rank, void* buf,
                                 std::size_t bytes, int src, int tag) {
   RankState& rs = rankState(job, rank);
-  rs.proc->compute(config_.post_overhead);
+  if (rs.proc) rs.proc->compute(config_.post_overhead);
   const std::uint64_t req = rs.next_req++;
   rs.requests.emplace(req, ReqInfo{});
 
@@ -184,7 +208,7 @@ std::uint64_t Runtime::postRecv(int job, int rank, void* buf,
   d.data = static_cast<std::byte*>(buf);
   d.bytes = bytes;
   d.request = req;
-  d.posted_at = rs.proc->now();
+  d.posted_at = rs.proc ? rs.proc->now() : cluster_.engine().now();
   d.seq = ++desc_seq_;
   nodeState(rs.node).recv_fresh.push_back(d);
   return req;
@@ -195,7 +219,7 @@ std::uint64_t Runtime::postCollective(int job, int rank, CollectiveType type,
                                       void* result, std::size_t count,
                                       mpi::Datatype dt, mpi::ReduceOp op) {
   RankState& rs = rankState(job, rank);
-  rs.proc->compute(config_.post_overhead);
+  if (rs.proc) rs.proc->compute(config_.post_overhead);
   const std::uint64_t req = rs.next_req++;
   rs.requests.emplace(req, ReqInfo{});
 
@@ -211,7 +235,7 @@ std::uint64_t Runtime::postCollective(int job, int rank, CollectiveType type,
   d.dt = dt;
   d.op = op;
   d.request = req;
-  d.posted_at = rs.proc->now();
+  d.posted_at = rs.proc ? rs.proc->now() : cluster_.engine().now();
   if (verifier_) {
     verifier_->onCollectivePosted(slice_index_, d.posted_at, rs.node, d,
                                   jobSize(job));
@@ -386,9 +410,34 @@ void Runtime::startSlice() {
     cbs.swap(checkpoint_cbs_);
     for (auto& cb : cbs) cb(record);
   }
+  if (config_.checkpoint_every_slices > 0 && snapshot_sink_ &&
+      slice_index_ > 0 &&
+      slice_index_ % config_.checkpoint_every_slices == 0) {
+    // Periodic full-state snapshot (src/snapshot): the capture point.  The
+    // sink observes, never mutates — a run with the sink installed traces
+    // identically to one without (pinned by tests/test_snapshot.cpp).
+    ++stats_.checkpoints_taken;
+    snapshot_sink_(slice_index_);
+  }
   if (verifier_) {
     // The slice boundary is the conceptual MSM reduction point: every
     // collective generation with a full rank set is color-reduced here.
+    verifier_->onSliceBoundary(slice_index_, cluster_.engine().now());
+  }
+  ++slice_index_;
+  ++stats_.slices;
+  slice_start_ = cluster_.engine().now();
+  root_msgs_slice_ = 0;
+  strobePhase(Phase::kDem);
+}
+
+void Runtime::resumeFromRestore() {
+  // The restored state is exactly the capture point inside startSlice():
+  // after recovery/rejoin processing, before the boundary bookkeeping.
+  // Run the remaining tail verbatim so the continuation is byte-identical
+  // to the run that was interrupted.
+  strobing_ = true;
+  if (verifier_) {
     verifier_->onSliceBoundary(slice_index_, cluster_.engine().now());
   }
   ++slice_index_;
@@ -891,6 +940,7 @@ void Runtime::armWatchdogAt(int node, SimTime when) {
   NodeState& ns = nodeState(node);
   ns.watchdog_armed = true;
   const SimTime at = std::max(when, cluster_.engine().now());
+  ns.watchdog_at = at;  // recorded so snapshots can re-arm at the deadline
   ns.watchdog = cluster_.engine().at(at, [this, node] { onWatchdog(node); });
 }
 

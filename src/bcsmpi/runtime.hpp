@@ -44,6 +44,10 @@
 #include "storm/sstree.hpp"
 #include "verify/verify.hpp"
 
+namespace bcs::snapshot {
+class StateIO;  // snapshot/state_io.hpp: serializes runtime internals
+}
+
 namespace bcs::bcsmpi {
 
 using sim::Duration;
@@ -121,6 +125,9 @@ struct RuntimeStats {
   /// slice (strobe destinations + completion traffic): O(nodes) flat,
   /// O(racks) with the SS tree — the aggregation win, observable directly.
   std::uint64_t fanout_msgs_per_slice = 0;
+  // Checkpoint/restore (src/snapshot, DESIGN.md §8):
+  std::uint64_t checkpoints_taken = 0;  ///< periodic-policy snapshots emitted
+  std::uint64_t restores = 0;           ///< times this runtime was restored
 
   /// Zeroes every counter (interval measurements around a workload).
   /// Prefer Runtime::resetStats, which preserves structural gauges like
@@ -156,6 +163,14 @@ class Runtime {
   /// before any communication; charges the runtime bring-up overhead and
   /// starts the global strobe on first registration.
   void registerProcess(int job, int rank, sim::Process& proc);
+
+  /// Binds (job, rank) as a *detached* rank: no process fiber, all
+  /// communication driven through postSend/postRecv/testRequest from engine
+  /// timers (src/snapshot's checkpointable workloads use this — fiber stacks
+  /// cannot be serialized, plain state machines can).  Mirrors
+  /// registerProcess: charges the bring-up overhead and starts the strobe on
+  /// first registration.
+  void registerDetachedRank(int job, int rank);
 
   /// Marks (job, rank) finished.  The strobe stops once every registered
   /// rank of every job has finished.
@@ -233,6 +248,16 @@ class Runtime {
   /// exposed for tests.
   CheckpointRecord snapshot() const;
 
+  /// Installs the periodic full-state snapshot sink: when
+  /// `config().checkpoint_every_slices > 0`, the sink fires at every Nth
+  /// slice boundary (same quiescent point requestCheckpoint callbacks use)
+  /// with the boundary's slice index.  The sink typically calls
+  /// snapshot::capture (src/snapshot) — capture is pure observation, so a
+  /// run with the sink installed traces identically to one without.
+  void setSnapshotSink(std::function<void(std::uint64_t)> sink) {
+    snapshot_sink_ = std::move(sink);
+  }
+
   // ---- Fault handling ----
 
   /// Declares a compute node dead (typically wired to STORM's heartbeat
@@ -300,6 +325,7 @@ class Runtime {
   struct RankState {
     sim::Process* proc = nullptr;
     int node = -1;
+    bool detached = false;  ///< registered via registerDetachedRank
     bool finished = false;
     std::uint64_t next_req = 1;
     int next_coll_gen = 0;
@@ -415,6 +441,7 @@ class Runtime {
     SimTime last_strobe = 0;
     sim::EventId watchdog{};
     bool watchdog_armed = false;
+    SimTime watchdog_at = 0;  ///< deadline of the armed watchdog (snapshots)
   };
 
   /// Per-rack strobe-protocol state (tree mode).  Role/membership live in
@@ -521,6 +548,13 @@ class Runtime {
   void resumeStrobe();
   void performRejoins();
 
+  /// Runs the post-capture tail of startSlice() after a snapshot restore:
+  /// the restored state corresponds exactly to the capture point (after
+  /// recovery/rejoins, before the boundary bookkeeping), so this picks the
+  /// slice up from there.  Invoked only by snapshot::StateIO via the
+  /// restore-resume event.
+  void resumeFromRestore();
+
   RankState& rankState(int job, int rank);
   JobState& jobState(int job);
   NodeState& nodeState(int node);
@@ -580,6 +614,10 @@ class Runtime {
 
   std::vector<std::function<void(const CheckpointRecord&)>> checkpoint_cbs_;
 
+  /// Periodic full-state snapshot sink (setSnapshotSink); fires at every
+  /// `config_.checkpoint_every_slices`-th boundary when installed.
+  std::function<void(std::uint64_t)> snapshot_sink_;
+
   /// Recycles collective payload buffers (see sim/pool.hpp).
   sim::PayloadPool payload_pool_;
 
@@ -589,6 +627,12 @@ class Runtime {
   std::unique_ptr<verify::Verifier> verifier_;
 
   RuntimeStats stats_;
+
+  /// Snapshot serializer (src/snapshot/state_io.*): reads and rebuilds the
+  /// private state above at slice boundaries.  Friendship instead of a
+  /// public state API keeps the snapshot surface out of the runtime's
+  /// contract — the serializer versions with the repo, not with callers.
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::bcsmpi

@@ -1,6 +1,7 @@
 #pragma once
 
-// Tiny deterministic LZSS codec for the golden-trace corpus.
+// Tiny deterministic LZSS codec shared by the golden-trace corpus and the
+// snapshot format (src/snapshot).
 //
 // Trace dumps are extremely repetitive text (a few hundred distinct line
 // shapes), so a 64 KiB sliding window with greedy hash-chain matching gets
@@ -8,7 +9,9 @@
 // small checked-in files — while staying ~100 lines of dependency-free
 // C++ whose output is bit-stable across platforms (a requirement: the
 // corpus is diffed byte-for-byte, so the *compressor* must be as
-// deterministic as the traces it stores).
+// deterministic as the traces it stores).  Snapshot sections are binary
+// rather than text but share the repetitive structure (runs of zeroed
+// counters, near-identical per-node records), so the same codec applies.
 //
 // Format:  "BCSG1" magic, u64 LE raw size, then token groups: one flag
 // byte (LSB first; 0 = literal, 1 = match) followed by 8 tokens — a
@@ -21,7 +24,7 @@
 #include <string>
 #include <vector>
 
-namespace bcs::golden {
+namespace bcs::codec {
 
 constexpr char kMagic[5] = {'B', 'C', 'S', 'G', '1'};
 constexpr std::size_t kWindow = 65535;
@@ -105,13 +108,13 @@ inline std::string decompress(const std::vector<std::uint8_t>& blob) {
   std::size_t p = 0;
   auto need = [&](std::size_t n) {
     if (p + n > blob.size()) {
-      throw std::runtime_error("golden codec: truncated stream");
+      throw std::runtime_error("lzss codec: truncated stream");
     }
   };
   need(sizeof(kMagic) + 8);
   for (char c : kMagic) {
     if (static_cast<char>(blob[p++]) != c) {
-      throw std::runtime_error("golden codec: bad magic");
+      throw std::runtime_error("lzss codec: bad magic");
     }
   }
   std::uint64_t raw_size = 0;
@@ -137,7 +140,7 @@ inline std::string decompress(const std::vector<std::uint8_t>& blob) {
       const std::size_t len = static_cast<std::size_t>(blob[p + 2]) + kMinMatch;
       p += 3;
       if (off == 0 || off > out.size()) {
-        throw std::runtime_error("golden codec: bad match offset");
+        throw std::runtime_error("lzss codec: bad match offset");
       }
       for (std::size_t k = 0; k < len; ++k) {
         out.push_back(out[out.size() - off]);  // may overlap; byte-by-byte
@@ -148,9 +151,9 @@ inline std::string decompress(const std::vector<std::uint8_t>& blob) {
     }
   }
   if (out.size() != raw_size) {
-    throw std::runtime_error("golden codec: size mismatch");
+    throw std::runtime_error("lzss codec: size mismatch");
   }
   return out;
 }
 
-}  // namespace bcs::golden
+}  // namespace bcs::codec

@@ -87,6 +87,11 @@ class Cluster {
   bool allProcessesFinished() const;
   std::vector<std::string> unfinishedProcesses() const;
 
+  /// Number of processes ever spawned.  Snapshot capture (src/snapshot)
+  /// refuses clusters with any: fiber stacks cannot be serialized, so
+  /// checkpointable workloads must be detached state machines.
+  std::size_t processCount() const { return processes_.size(); }
+
  private:
   ClusterConfig config_;
   sim::Engine engine_;

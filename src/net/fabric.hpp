@@ -187,6 +187,11 @@ class Fabric {
     FabricStats s;
   };
   StatStripe stat_stripes_[kStatStripes];
+
+  /// Snapshot serializer (src/snapshot): endpoint free-times and the folded
+  /// stats round-trip; restore folds all stripes into stripe 0 (the serial
+  /// path's stripe — restored runs continue serially).
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::net

@@ -62,6 +62,10 @@
 
 #include "sim/time.hpp"
 
+namespace bcs::snapshot {
+class StateIO;  // snapshot/state_io.hpp: serializes engine counters
+}
+
 namespace bcs::sim {
 
 /// Shard index: the unit of parallelism.  Shard 0 is the default home of
@@ -539,6 +543,11 @@ class Engine {
   alignas(64) std::atomic<int> workers_done_{0};
   alignas(64) std::atomic<bool> par_quit_{false};
   SimTime window_end_ = 0;  ///< published via the window_gen_ release/acquire
+
+  /// Snapshot serializer (src/snapshot): warps now_/base_ and restores the
+  /// seq counters so a restored run draws identical event keys.  Pending
+  /// events are never serialized — restore re-arms them logically.
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::sim

@@ -133,6 +133,11 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_;
+
+  /// Snapshot serializer (src/snapshot): restores the drop/degrade RNG
+  /// stream and the counters; forced-down entries are re-applied through
+  /// forceDown (they live in plan_ past the configured faults).
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::sim

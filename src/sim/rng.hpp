@@ -9,6 +9,10 @@
 
 #include <cstdint>
 
+namespace bcs::snapshot {
+class StateIO;  // snapshot/state_io.hpp: serializes the 4-word state
+}
+
 namespace bcs::sim {
 
 /// splitmix64 step; used to expand a single 64-bit seed into a full state.
@@ -74,6 +78,11 @@ class Rng {
   }
 
   std::uint64_t state_[4]{};
+
+  /// Snapshot serializer (src/snapshot): the whole generator state is
+  /// state_[4] — normal() draws both Box-Muller values per call, so there
+  /// is no hidden cached spare to capture.
+  friend class bcs::snapshot::StateIO;
 };
 
 /// Derives an independent child seed from (parent seed, stream index).

@@ -1,0 +1,122 @@
+#pragma once
+
+// Pointer swizzling for snapshots.
+//
+// Descriptors and chunk GetOps hold raw pointers into application buffers.
+// A snapshot cannot store pointers, so checkpointable workloads register
+// every communication buffer here under a stable id; capture rewrites each
+// pointer as (buffer id, offset) and restore resolves it against the fresh
+// process's registry (same ids, same sizes — the workload registers them in
+// construction order).  Buffer *contents* are serialized too: a restored
+// run must re-send exactly the bytes the interrupted run would have.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/error.hpp"
+#include "snapshot/wire.hpp"
+
+namespace bcs::snapshot {
+
+inline constexpr std::uint32_t kNullBuffer = 0xffffffffu;
+
+/// A serializable stand-in for a pointer into a registered buffer.
+struct BufRef {
+  std::uint32_t id = kNullBuffer;
+  std::uint64_t offset = 0;
+};
+
+class BufferRegistry {
+ public:
+  void add(std::uint32_t id, std::byte* data, std::size_t size) {
+    for (const Entry& e : entries_) {
+      if (e.id == id) {
+        throw SnapshotError("buffers",
+                            "duplicate buffer id " + std::to_string(id));
+      }
+    }
+    entries_.push_back(Entry{id, data, size});
+  }
+
+  /// Pointer → reference.  Null maps to kNullBuffer; a pointer outside every
+  /// registered buffer means the workload forgot to register one — refuse
+  /// the capture rather than snapshot a dangling address.
+  BufRef refOf(const std::byte* p) const {
+    if (p == nullptr) return BufRef{};
+    for (const Entry& e : entries_) {
+      if (p >= e.data && p < e.data + e.size) {
+        return BufRef{e.id, static_cast<std::uint64_t>(p - e.data)};
+      }
+    }
+    // One-past-the-end of a buffer is a valid position for a fully-consumed
+    // chunk pointer; resolve it against the owning buffer.
+    for (const Entry& e : entries_) {
+      if (p == e.data + e.size) return BufRef{e.id, e.size};
+    }
+    throw SnapshotError("buffers", "pointer into an unregistered buffer");
+  }
+
+  std::byte* resolve(BufRef ref) const {
+    if (ref.id == kNullBuffer) return nullptr;
+    for (const Entry& e : entries_) {
+      if (e.id != ref.id) continue;
+      if (ref.offset > e.size) {
+        throw SnapshotError("buffers",
+                            "offset " + std::to_string(ref.offset) +
+                                " past end of buffer " +
+                                std::to_string(ref.id));
+      }
+      return e.data + ref.offset;
+    }
+    throw SnapshotError("buffers",
+                        "unknown buffer id " + std::to_string(ref.id));
+  }
+
+  void saveRef(Encoder& e, const std::byte* p) const {
+    const BufRef r = refOf(p);
+    e.u32(r.id);
+    e.u64(r.offset);
+  }
+  std::byte* loadRef(Decoder& d) const {
+    BufRef r;
+    r.id = d.u32();
+    r.offset = d.u64();
+    return resolve(r);
+  }
+
+  void saveContents(Encoder& e) const {
+    e.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry& ent : entries_) {
+      e.u32(ent.id);
+      e.u64(ent.size);
+      e.bytes(ent.data, ent.size);
+    }
+  }
+  void restoreContents(Decoder& d) {
+    const std::uint32_t n = d.u32();
+    if (n != entries_.size()) {
+      d.fail("buffer count " + std::to_string(n) + " != registered " +
+             std::to_string(entries_.size()));
+    }
+    for (Entry& ent : entries_) {
+      const std::uint32_t id = d.u32();
+      const std::uint64_t size = d.u64();
+      if (id != ent.id || size != ent.size) {
+        d.fail("buffer " + std::to_string(ent.id) + " shape mismatch");
+      }
+      d.bytes(ent.data, ent.size);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t id;
+    std::byte* data;
+    std::size_t size;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bcs::snapshot

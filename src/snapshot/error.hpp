@@ -1,0 +1,31 @@
+#pragma once
+
+// Structured snapshot failure (src/snapshot, DESIGN.md §8).
+//
+// Every refusal — capture-time guards, truncated or corrupted files, format
+// or fingerprint skew — names the section it was detected in, so a broken
+// snapshot diagnoses itself instead of producing undefined behaviour.
+
+#include <stdexcept>
+#include <string>
+
+namespace bcs::snapshot {
+
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(std::string section, std::string reason)
+      : std::runtime_error("snapshot [" + section + "]: " + reason),
+        section_(std::move(section)),
+        reason_(std::move(reason)) {}
+
+  /// Section the failure was detected in ("header", "engine", "runtime",
+  /// ... or "capture" for capture-time guard refusals).
+  const std::string& section() const { return section_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string section_;
+  std::string reason_;
+};
+
+}  // namespace bcs::snapshot

@@ -1,0 +1,42 @@
+#pragma once
+
+// Canonical checkpointable scenarios (tests/test_snapshot.cpp, the
+// ckpt_resume golden, and examples/checkpoint_fault_tolerance.cpp all share
+// these, so drills and goldens can never drift apart).
+//
+// All three keep every cadence off the slice-boundary grid (DESIGN.md §8):
+// boundaries sit at 200 µs mod 500 (runtime_init_overhead), STORM heartbeat
+// rounds at 0, inspections at 250, workload ticks at (350 + rank) — so every
+// event a restore re-arms fires at a pairwise-distinct time and the re-arm
+// order is provably irrelevant.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/checkpoint.hpp"
+
+namespace bcs::snapshot {
+
+/// 8 nodes, one rank each, 12 ring rounds, no faults.  The minimal
+/// round-trip scenario.
+ScenarioSpec ckptRing(bool verify = false);
+
+/// The acceptance-criteria soup: 32 nodes, 5% random descriptor/chunk loss,
+/// node 13 crashing at 6 ms, STORM heartbeats at 500 µs wired to runtime
+/// eviction — retransmission, eviction and recovery state all live across
+/// the checkpoint.
+ScenarioSpec ckptSoup(bool verify = false);
+
+/// 32 nodes under the hierarchical control plane (tree_fanout = 8, four
+/// racks): rack incumbents, coalesced-ack and tree-phase state round-trip.
+ScenarioSpec ckptTree(bool verify = false);
+
+/// The "ckpt_resume" golden trace: the ring scenario checkpointed at slice 4,
+/// killed mid-run at 3 ms, restored into a fresh stack and run to
+/// completion; returns capture-time trace prefix + the restored run's trace.
+/// Pinned under tests/golden/ so capture/restore byte behavior can never
+/// drift silently.
+std::string traceCkptResume();
+
+}  // namespace bcs::snapshot

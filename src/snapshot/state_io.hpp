@@ -1,0 +1,62 @@
+#pragma once
+
+// The state serializer behind capture()/restore() (checkpoint.hpp).
+//
+// StateIO is a friend of every stateful simulator class (Engine, Rng,
+// FaultInjector, Fabric, BcsCore, Storm, Runtime, Verifier, DetachedRing):
+// it reads their privates at capture and writes them back into freshly
+// constructed objects at restore.  Friendship instead of public state APIs
+// keeps the snapshot surface out of each class's contract — the serializer
+// versions with the repo, not with callers.
+//
+// Pending engine events are never serialized (they are closures).  Capture
+// records each timer's *logical* deadline (watchdog_at, next_round_at_,
+// inspect_at_, next_tick_at); restore warps the fresh engine's clock to the
+// capture instant and re-arms every timer from the recorded deadlines, in a
+// canonical order whose correctness rests on all re-armed events firing at
+// pairwise-distinct times (the off-grid cadences documented in DESIGN.md
+// §8).  A final resume event at the capture instant runs the post-capture
+// tail of the slice boundary (Runtime::resumeFromRestore), so every event
+// the continuation schedules draws a sequence number *after* all re-armed
+// events — exactly the pending-before-boundary < scheduled-at-boundary
+// order the interrupted run had.
+
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/wire.hpp"
+
+namespace bcs::snapshot {
+
+class StateIO {
+ public:
+  /// Capture-time guards: throws SnapshotError("capture", …) when the
+  /// simulation holds state that cannot round-trip (live fibers, an
+  /// election or active collective in flight, queued event waiters,
+  /// un-dispatched boundary work).
+  static void checkCapturable(Simulation& sim);
+
+  /// Serializes every subsystem into `w` (one section each).
+  static void saveAll(Simulation& sim, SnapshotWriter& w);
+
+  /// Restores a bare-built simulation (checkpoint.cpp's buildBare) from the
+  /// reader's sections, then re-arms all timers and the resume event.
+  static void restoreAll(Simulation& sim, const SnapshotReader& r);
+
+ private:
+  // Per-subsystem (de)serializers.  Static members rather than file-local
+  // helpers because friendship is granted to StateIO, not to free functions.
+  static void saveCore(Encoder& e, const core::BcsCore& c);
+  static void restoreCore(Decoder& d, core::BcsCore& c);
+  static void saveStorm(Encoder& e, const storm::Storm& st);
+  static void restoreStorm(Decoder& d, storm::Storm& st);
+  static void saveVerifier(Encoder& e, const verify::Verifier& v);
+  static void restoreVerifier(Decoder& d, verify::Verifier& v);
+  static void saveRuntime(Encoder& e, const bcsmpi::Runtime& rt,
+                          const BufferRegistry& reg);
+  static void restoreRuntime(Decoder& d, bcsmpi::Runtime& rt,
+                             const BufferRegistry& reg);
+  static void saveWorkload(Encoder& e, const DetachedRing& wl);
+  static void restoreWorkload(Decoder& d, DetachedRing& wl);
+};
+
+}  // namespace bcs::snapshot

@@ -1,0 +1,122 @@
+#pragma once
+
+// Little-endian scalar encoding for snapshot sections.
+//
+// Every section payload is built with an Encoder and parsed with a Decoder.
+// The Decoder is bounds-checked on every read and throws SnapshotError
+// naming its section, so a truncated or bit-flipped payload that slips past
+// the CRC (it cannot, but defense in depth is free here) still fails loudly
+// instead of reading out of bounds.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "snapshot/error.hpp"
+
+namespace bcs::snapshot {
+
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  const std::string& data() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void le(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string out_;
+};
+
+class Decoder {
+ public:
+  Decoder(std::string_view data, std::string section)
+      : data_(data), section_(std::move(section)) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+  void bytes(void* dst, std::size_t n) {
+    need(n);
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  bool atEnd() const { return pos_ == data_.size(); }
+  /// Call after the last field: trailing garbage means the payload does not
+  /// match the schema this build expects.
+  void expectEnd() const {
+    if (!atEnd()) {
+      throw SnapshotError(section_, std::to_string(data_.size() - pos_) +
+                                        " trailing byte(s) after last field");
+    }
+  }
+  const std::string& section() const { return section_; }
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw SnapshotError(section_, reason);
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw SnapshotError(section_,
+                          "truncated payload: need " + std::to_string(n) +
+                              " byte(s) at offset " + std::to_string(pos_) +
+                              " of " + std::to_string(data_.size()));
+    }
+  }
+  std::uint64_t le(int width) {
+    need(static_cast<std::size_t>(width));
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(width);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string section_;
+};
+
+}  // namespace bcs::snapshot

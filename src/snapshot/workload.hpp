@@ -1,0 +1,87 @@
+#pragma once
+
+// The checkpointable ring workload (DESIGN.md §8).
+//
+// Fibers cannot be serialized — a suspended process is a stack, not data —
+// so checkpointable workloads are *detached* state machines: every rank is
+// registered with Runtime::registerDetachedRank (no process), and all
+// communication is driven by engine timers through postSend / postRecv /
+// testRequest.  The whole per-rank state fits in a handful of plain fields,
+// which is exactly what a snapshot can capture and a restore can re-arm.
+//
+// The workload itself is a tagged ring exchange: each round, rank r sends
+// `bytes` to (r+1) % N and receives from (r-1+N) % N, both tagged with the
+// round number, then polls both requests on a slice-period cadence until
+// they complete.  Per-rank tick timers sit at (350 + r) µs offsets within
+// the 500 µs slice so they never collide with slice boundaries (200 µs),
+// STORM heartbeat rounds (0) or inspections (250) — distinct firing times
+// are what make the restore re-arm order provably irrelevant (§8).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bcsmpi/runtime.hpp"
+#include "snapshot/buffers.hpp"
+
+namespace bcs::snapshot {
+
+using sim::SimTime;
+
+/// Shape of the ring scenario (part of the config fingerprint).
+struct RingSpec {
+  int ranks = 0;
+  std::vector<int> node_of_rank;
+  int rounds = 0;
+  std::size_t bytes = 256;
+};
+
+class DetachedRing {
+ public:
+  /// Allocates buffers and registers them (ids 2r = send, 2r+1 = recv) but
+  /// schedules nothing; call start() to arm the first ticks, or let
+  /// StateIO re-arm restored ones.
+  DetachedRing(bcsmpi::Runtime& rt, int job, RingSpec spec,
+               BufferRegistry& registry);
+
+  /// Arms every rank's first tick (fresh runs only, before Cluster::run).
+  void start();
+
+  /// Number of ranks that stopped ticking (finished all rounds, or live on
+  /// an evicted node).
+  int finishedRanks() const { return finished_count_; }
+  bool allFinished() const { return finished_count_ == spec_.ranks; }
+
+  /// FNV-1a digest over every rank's (round, receive buffer) — the
+  /// application-visible outcome, compared across restored and
+  /// uninterrupted runs.
+  std::uint64_t dataDigest() const;
+
+ private:
+  friend class StateIO;
+
+  struct RankSm {
+    int round = 0;
+    bool waiting = false;  ///< requests posted, polling for completion
+    std::uint64_t send_req = 0;
+    std::uint64_t recv_req = 0;
+    bool send_done = false;
+    bool recv_done = false;
+    SimTime next_tick_at = 0;  ///< deadline of the armed tick (snapshots)
+    bool finished = false;     ///< no tick armed anymore
+  };
+
+  void armTick(int r, SimTime at);
+  void tick(int r);
+  void fillSendBuffer(int r);
+
+  bcsmpi::Runtime& rt_;
+  int job_;
+  RingSpec spec_;
+  std::vector<RankSm> sms_;
+  std::vector<std::vector<std::byte>> send_bufs_;
+  std::vector<std::vector<std::byte>> recv_bufs_;
+  int finished_count_ = 0;
+};
+
+}  // namespace bcs::snapshot

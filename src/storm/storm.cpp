@@ -145,12 +145,12 @@ void Storm::stopHeartbeats() { heartbeats_on_ = false; }
 void Storm::heartbeatRound() {
   if (!heartbeats_on_) return;
   const int mm = mm_node_;
-  if (cluster_.faults()->nodeDown(mm, cluster_.engine().now())) {
+  const SimTime round_start = cluster_.engine().now();
+  if (cluster_.faults()->nodeDown(mm, round_start)) {
     // The MM host is down: it sends and inspects nothing this round.  The
     // cadence timer stays armed so a failed-over MM picks the chain back up
     // on the next period.
-    cluster_.engine().after(config_.heartbeat_period,
-                            [this] { heartbeatRound(); });
+    scheduleRound(round_start + config_.heartbeat_period);
     return;
   }
   const std::int64_t seq = ++hb_seq_;
@@ -177,41 +177,51 @@ void Storm::heartbeatRound() {
   }
 
   // Half a period later, the MM inspects each node's acknowledgement.
-  cluster_.engine().after(config_.heartbeat_period / 2, [this, seq] {
-    if (cluster_.faults()->nodeDown(mm_node_, cluster_.engine().now())) {
-      return;  // the MM died between strobe and inspection
-    }
-    for (int n = 0; n < cluster_.numComputeNodes(); ++n) {
-      NodeInfo& info = node_info_[static_cast<std::size_t>(n)];
-      if (core_.readVar(n, hb_var_) >= seq) {
-        if (info.marked_dead) {
-          // A node declared dead is acknowledging again: a hang window
-          // ended.  Clear the MM's books and announce the rejoin.
-          info.marked_dead = false;
-          info.missed = 0;
-          cluster_.trace().record(cluster_.engine().now(),
-                                  sim::TraceCategory::kFailover, n,
-                                  "rejoined: heartbeat acknowledged after "
-                                  "death declaration");
-          if (rejoin_handler_) rejoin_handler_(n);
-        } else {
-          info.missed = 0;
-        }
-      } else if (!info.marked_dead) {
-        if (++info.missed >= config_.max_missed_heartbeats) {
-          info.marked_dead = true;
-          cluster_.trace().record(cluster_.engine().now(),
-                                  sim::TraceCategory::kStorm, n,
-                                  "declared dead after " +
-                                      std::to_string(info.missed) +
-                                      " missed heartbeats");
-          if (death_handler_) death_handler_(n);
-        }
+  inspect_seq_ = seq;
+  inspect_at_ = round_start + config_.heartbeat_period / 2;
+  inspect_pending_ = true;
+  cluster_.engine().at(inspect_at_, [this, seq] { inspectRound(seq); });
+  scheduleRound(round_start + config_.heartbeat_period);
+}
+
+void Storm::inspectRound(std::int64_t seq) {
+  inspect_pending_ = false;
+  if (cluster_.faults()->nodeDown(mm_node_, cluster_.engine().now())) {
+    return;  // the MM died between strobe and inspection
+  }
+  for (int n = 0; n < cluster_.numComputeNodes(); ++n) {
+    NodeInfo& info = node_info_[static_cast<std::size_t>(n)];
+    if (core_.readVar(n, hb_var_) >= seq) {
+      if (info.marked_dead) {
+        // A node declared dead is acknowledging again: a hang window
+        // ended.  Clear the MM's books and announce the rejoin.
+        info.marked_dead = false;
+        info.missed = 0;
+        cluster_.trace().record(cluster_.engine().now(),
+                                sim::TraceCategory::kFailover, n,
+                                "rejoined: heartbeat acknowledged after "
+                                "death declaration");
+        if (rejoin_handler_) rejoin_handler_(n);
+      } else {
+        info.missed = 0;
+      }
+    } else if (!info.marked_dead) {
+      if (++info.missed >= config_.max_missed_heartbeats) {
+        info.marked_dead = true;
+        cluster_.trace().record(cluster_.engine().now(),
+                                sim::TraceCategory::kStorm, n,
+                                "declared dead after " +
+                                    std::to_string(info.missed) +
+                                    " missed heartbeats");
+        if (death_handler_) death_handler_(n);
       }
     }
-  });
-  cluster_.engine().after(config_.heartbeat_period,
-                          [this] { heartbeatRound(); });
+  }
+}
+
+void Storm::scheduleRound(SimTime at) {
+  next_round_at_ = at;
+  cluster_.engine().at(at, [this] { heartbeatRound(); });
 }
 
 bool Storm::nodeAlive(int node) const {

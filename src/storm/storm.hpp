@@ -112,6 +112,13 @@ class Storm {
 
  private:
   void heartbeatRound();
+  /// The MM-side inspection of round `seq`'s acknowledgements (the second
+  /// half of heartbeatRound, split out so a snapshot restore can re-arm a
+  /// pending inspection at its recorded deadline).
+  void inspectRound(std::int64_t seq);
+  /// Arms the next heartbeatRound at `at`, recording the deadline for
+  /// snapshots.
+  void scheduleRound(SimTime at);
 
   net::Cluster& cluster_;
   StormConfig config_;
@@ -133,6 +140,18 @@ class Storm {
   int mm_node_ = -1;
   std::function<void(int)> death_handler_;
   std::function<void(int)> rejoin_handler_;
+
+  // Heartbeat timer bookkeeping (logical mirrors of the armed engine
+  // events, so snapshots can capture and re-arm them).
+  SimTime next_round_at_ = 0;        ///< deadline of the armed next round
+  SimTime inspect_at_ = 0;           ///< deadline of the armed inspection
+  std::int64_t inspect_seq_ = 0;     ///< round the armed inspection checks
+  bool inspect_pending_ = false;     ///< an inspection event is armed
+
+  /// Snapshot serializer (src/snapshot): membership books, heartbeat
+  /// counters and the timer mirrors above round-trip; restore re-arms the
+  /// pending inspection and the next round from the recorded deadlines.
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::storm

@@ -48,6 +48,10 @@
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
+namespace bcs::snapshot {
+class StateIO;  // snapshot/state_io.hpp: serializes verifier state
+}
+
 namespace bcs::verify {
 
 /// Diagnostic categories, one counter each in the VerifyReport.
@@ -160,6 +164,10 @@ class Verifier {
   /// reduction pass visits groups in (job, gen) order, never hash order.
   std::map<std::pair<int, int>, ColorGroup> pending_;
   VerifyReport report_;
+
+  /// Snapshot serializer (src/snapshot): pending color groups and the
+  /// report round-trip so a verify-on run restores to the same findings.
+  friend class bcs::snapshot::StateIO;
 };
 
 }  // namespace bcs::verify

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "golden_codec.hpp"
+#include "codec/lzss.hpp"
 #include "golden_scenarios.hpp"
 
 int main(int argc, char** argv) {
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     }
     std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(in),
                                    std::istreambuf_iterator<char>()};
-    const std::string raw = bcs::golden::decompress(blob);
+    const std::string raw = bcs::codec::decompress(blob);
     std::fwrite(raw.data(), 1, raw.size(), stdout);
     return 0;
   }
@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
   const std::string outdir = argv[1];
   for (const auto& sc : bcs::golden::kScenarios) {
     const std::string raw = sc.generate();
-    const std::vector<std::uint8_t> blob = bcs::golden::compress(raw);
+    const std::vector<std::uint8_t> blob = bcs::codec::compress(raw);
     // Round-trip before trusting the artifact.
-    if (bcs::golden::decompress(blob) != raw) {
+    if (bcs::codec::decompress(blob) != raw) {
       std::fprintf(stderr, "%s: codec round-trip failed\n", sc.name);
       return 1;
     }

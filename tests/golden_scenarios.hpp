@@ -23,6 +23,7 @@
 #include "bcsmpi/comm.hpp"
 #include "net/cluster.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/scenario.hpp"
 
 namespace bcs::golden {
 
@@ -230,6 +231,12 @@ inline std::string traceTreeExchange() {
   return cluster.trace().dump();
 }
 
+/// Checkpoint at slice 4, kill at 3 ms, restore into a fresh stack and run
+/// to drain; the dump is prefix(killed run) + continuation.  Pinning the
+/// splice byte-for-byte makes any restore-identity regression a golden diff
+/// (src/snapshot, DESIGN.md §8).
+inline std::string traceCkptResume() { return snapshot::traceCkptResume(); }
+
 struct Scenario {
   const char* name;
   std::string (*generate)();
@@ -241,6 +248,7 @@ inline const Scenario kScenarios[] = {
     {"sweep3d", &traceSweep3d},
     {"par_soup", &traceParSoup},
     {"tree_exchange", &traceTreeExchange},
+    {"ckpt_resume", &traceCkptResume},
 };
 
 }  // namespace bcs::golden

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "golden_codec.hpp"
+#include "codec/lzss.hpp"
 #include "golden_scenarios.hpp"
 
 namespace {
@@ -31,7 +31,7 @@ std::string loadGolden(const std::string& name) {
   }
   std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(in),
                                  std::istreambuf_iterator<char>()};
-  return golden::decompress(blob);
+  return codec::decompress(blob);
 }
 
 /// Pinpoints the first differing line so a schedule perturbation reads as
@@ -67,20 +67,20 @@ TEST(GoldenCodec, RoundTripsArbitraryData) {
     data += "line " + std::to_string(i % 97) + ": the quick brown fox ";
     data += static_cast<char>(i * 131 % 256);
   }
-  const auto blob = golden::compress(data);
+  const auto blob = codec::compress(data);
   EXPECT_LT(blob.size(), data.size() / 4);  // repetitive text compresses
-  EXPECT_EQ(golden::decompress(blob), data);
+  EXPECT_EQ(codec::decompress(blob), data);
 
-  EXPECT_EQ(golden::decompress(golden::compress(std::string{})), "");
+  EXPECT_EQ(codec::decompress(codec::compress(std::string{})), "");
   const std::string one = "x";
-  EXPECT_EQ(golden::decompress(golden::compress(one)), one);
+  EXPECT_EQ(codec::decompress(codec::compress(one)), one);
 }
 
 TEST(GoldenCodec, RejectsCorruptStreams) {
-  EXPECT_THROW(golden::decompress({}), std::runtime_error);
-  auto blob = golden::compress(std::string(1000, 'a'));
+  EXPECT_THROW(codec::decompress({}), std::runtime_error);
+  auto blob = codec::compress(std::string(1000, 'a'));
   blob[0] ^= 0xFF;  // bad magic
-  EXPECT_THROW(golden::decompress(blob), std::runtime_error);
+  EXPECT_THROW(codec::decompress(blob), std::runtime_error);
 }
 
 class GoldenTrace : public ::testing::TestWithParam<golden::Scenario> {};

@@ -39,7 +39,8 @@ import re
 import sys
 from pathlib import Path
 
-DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/storm", "src/verify"]
+DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/storm", "src/verify",
+                 "src/snapshot"]
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 
 BANNED = [
