@@ -39,6 +39,7 @@
 #include "bcsmpi/matching.hpp"
 #include "mpi/types.hpp"
 #include "net/cluster.hpp"
+#include "race/race.hpp"
 #include "sim/pool.hpp"
 #include "sim/process.hpp"
 #include "storm/sstree.hpp"
@@ -138,6 +139,11 @@ struct RuntimeStats {
 class Runtime {
  public:
   Runtime(net::Cluster& cluster, BcsMpiConfig config);
+
+  /// Detaches the race detector from the fabric/engine before it dies (the
+  /// cluster outlives the runtime; without the detach the fabric would keep
+  /// a dangling observer pointer).
+  ~Runtime();
 
   net::Cluster& cluster() { return cluster_; }
   const BcsMpiConfig& config() const { return config_; }
@@ -307,6 +313,19 @@ class Runtime {
   /// strobe stops cleanly; call it manually after a bounded run of a
   /// deadlocked or faulted workload.  The audit runs at most once.
   const verify::VerifyReport* verifyAudit();
+
+  // ---- Shard-ownership race detection (src/race, config.race_detect) ----
+
+  /// The attached race detector, or nullptr when `config.race_detect` is
+  /// off.  Workloads that shard nodes across the engine (Engine::atOn +
+  /// Fabric::setShardMap) can registerObject additional state with it.
+  race::RaceDetector* raceDetector() { return race_.get(); }
+
+  /// Merges any access records still open in the current window, finalizes
+  /// the detector and returns the report (nullptr when detection is off).
+  /// Call after Engine::run returns — the parallel drain merges at barriers,
+  /// so finalizing mid-run would double-count the open window.  Idempotent.
+  const race::RaceReport* raceAudit();
 
   /// Announces that an evicted node is back (typically wired to STORM's
   /// rejoin handler, which fires when a hung node resumes acknowledging
@@ -559,6 +578,26 @@ class Runtime {
   JobState& jobState(int job);
   NodeState& nodeState(int node);
 
+  // Race-detector hooks (src/race): one pointer null check when off.  Const
+  // because the read-side hooks live in const methods; record() observes,
+  // it never mutates runtime state.
+  void raceNode(int node, race::FieldGroup group,
+                race::RaceDetector::Access access, const char* site) const {
+    if (race_) {
+      race_->record(race::ObjectKind::kNodeState,
+                    static_cast<std::uint64_t>(node), group, access, site);
+    }
+  }
+  void raceRank(int job, int rank, race::RaceDetector::Access access,
+                const char* site) const {
+    if (race_) {
+      race_->record(race::ObjectKind::kRankTable,
+                    (static_cast<std::uint64_t>(job) << 16) |
+                        static_cast<std::uint64_t>(rank),
+                    race::FieldGroup::kRequests, access, site);
+    }
+  }
+
   net::Cluster& cluster_;
   BcsMpiConfig config_;
   core::BcsCore core_;
@@ -625,6 +664,11 @@ class Runtime {
   /// are guarded by this pointer (one predictable branch when off — never a
   /// virtual call), which is what keeps the disabled verifier zero-cost.
   std::unique_ptr<verify::Verifier> verifier_;
+
+  /// Shard-ownership race detector; null unless config_.race_detect.  Same
+  /// zero-cost-when-off contract as the verifier: every hook is one pointer
+  /// null check.  Owns no engine/fabric state — it detaches in ~Runtime.
+  std::unique_ptr<race::RaceDetector> race_;
 
   RuntimeStats stats_;
 

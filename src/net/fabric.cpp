@@ -6,7 +6,21 @@
 #include <memory>
 #include <utility>
 
+#include "race/race.hpp"
+
 namespace bcs::net {
+
+namespace {
+// Shorthand for endpoint access records; no-op when no detector attached.
+inline void raceTouch(race::RaceDetector* race, int node,
+                      race::FieldGroup group, const char* site) {
+  if (race != nullptr) {
+    race->record(race::ObjectKind::kFabricEndpoint,
+                 static_cast<std::uint64_t>(node), group,
+                 race::RaceDetector::Access::kWrite, site);
+  }
+}
+}  // namespace
 
 Fabric::Fabric(sim::Engine& engine, NetworkParams params, int num_nodes,
                sim::Trace* trace)
@@ -47,10 +61,40 @@ void Fabric::setShardMap(std::vector<sim::ShardId> shard_of) {
     }
   }
   shard_map_ = std::move(shard_of);
+  registerRaceObjects();
+}
+
+void Fabric::setRaceDetector(race::RaceDetector* detector) {
+  race_ = detector;
+  registerRaceObjects();
+}
+
+void Fabric::registerRaceObjects() {
+  if (race_ == nullptr) return;
+  for (int n = 0; n < num_nodes_; ++n) {
+    const sim::ShardId owner =
+        shard_map_.empty() ? 0 : shard_map_[static_cast<std::size_t>(n)];
+    race_->registerObject(race::ObjectKind::kFabricEndpoint,
+                          static_cast<std::uint64_t>(n), owner);
+  }
+  // The statistic stripes are shared *by design* — per-worker cache-line
+  // stripes with atomic folds — so multi-shard writes are exempt.
+  for (std::size_t s = 0; s < kStatStripes; ++s) {
+    race_->registerShared(race::ObjectKind::kStatStripe, s);
+  }
 }
 
 void Fabric::bump(std::uint64_t FabricStats::* counter, std::uint64_t delta) {
   const int w = sim::detail::currentWorkerIndex();
+  if (race_ != nullptr) {
+    // Stripes are registered shared-exempt: the record documents the
+    // multi-shard write without ever producing a finding.
+    const std::uint64_t stripe =
+        w < 0 ? 0 : 1 + static_cast<std::uint64_t>(w) % (kStatStripes - 1);
+    race_->record(race::ObjectKind::kStatStripe, stripe,
+                  race::FieldGroup::kStripe, race::RaceDetector::Access::kWrite,
+                  "Fabric::bump");
+  }
   if (w < 0) {
     // Serial engine, or the parallel coordinator between windows — single
     // threaded by construction, so the plain add stays.
@@ -112,6 +156,9 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
     const SimTime inject = now + params_.nic_tx_overhead + params_.pci_latency;
     const SimTime start_tx = std::max(inject, e_src.egress_free);
     e_src.egress_free = start_tx + serial;
+    // Cross-shard: only the source endpoint is touched — the destination's
+    // ingress state belongs to another shard and is deliberately skipped.
+    raceTouch(race_, src, race::FieldGroup::kEgress, "Fabric::unicast");
     const SimTime completion = start_tx + baseLatency(src, dst) + serial +
                                params_.nic_rx_overhead;
     if (trace_) {
@@ -163,6 +210,7 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
   const SimTime inject = now + params_.nic_tx_overhead + params_.pci_latency;
   const SimTime start_tx = std::max(inject, e_src.egress_free);
   e_src.egress_free = start_tx + serial;
+  raceTouch(race_, src, race::FieldGroup::kEgress, "Fabric::unicast");
 
   // Fault decisions: the packet occupies the source egress either way (it
   // was injected), but a lost packet never occupies the destination ingress
@@ -201,6 +249,7 @@ void Fabric::unicast(int src, int dst, std::size_t bytes,
   const SimTime deliver_end =
       std::max(arrival, e_dst.ingress_free + serial);
   e_dst.ingress_free = deliver_end;
+  raceTouch(race_, dst, race::FieldGroup::kIngress, "Fabric::unicast");
 
   const SimTime completion = deliver_end + params_.nic_rx_overhead;
 
@@ -262,6 +311,7 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
   const SimTime inject = now + params_.nic_tx_overhead + params_.pci_latency;
   const SimTime start_tx = std::max(inject, e_src.egress_free);
   e_src.egress_free = start_tx + serial;
+  raceTouch(race_, src, race::FieldGroup::kEgress, "Fabric::multicast");
 
   // The switch fans out; the fixed part is the depth of the tree.
   const Duration fanout_latency =
@@ -287,6 +337,7 @@ void Fabric::multicast(int src, std::vector<int> dests, std::size_t bytes,
     const SimTime arrival = start_tx + fanout_latency + dserial;
     const SimTime deliver_end = std::max(arrival, e_dst.ingress_free + dserial);
     e_dst.ingress_free = deliver_end;
+    raceTouch(race_, d, race::FieldGroup::kIngress, "Fabric::multicast");
     const SimTime completion = deliver_end + params_.nic_rx_overhead;
     last = std::max(last, completion);
     if (on_delivered_at) {

@@ -44,6 +44,10 @@
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
+namespace bcs::race {
+class RaceDetector;
+}
+
 namespace bcs::net {
 
 using sim::Duration;
@@ -151,6 +155,15 @@ class Fabric {
   void setShardMap(std::vector<sim::ShardId> shard_of);
   bool shardMapped() const { return !shard_map_.empty(); }
 
+  /// Attaches (or detaches, with nullptr) the shard-ownership race detector
+  /// (src/race).  Not owned; must outlive the fabric or be detached first.
+  /// Registers every NIC endpoint with its owning shard (the shard map's,
+  /// or shard 0) and the statistic stripes as shared-exempt; setShardMap
+  /// re-tags the endpoints if it runs later.  Zero cost when detached: one
+  /// null-pointer check per endpoint touch.
+  void setRaceDetector(race::RaceDetector* detector);
+  race::RaceDetector* raceDetector() const { return race_; }
+
   sim::Engine& engine() { return engine_; }
 
  private:
@@ -165,6 +178,8 @@ class Fabric {
                          std::function<void()> on_all);
 
   void checkNode(int node) const;
+  /// (Re-)registers endpoint ownership with the attached race detector.
+  void registerRaceObjects();
   /// Counter bump routed to the calling worker's statistic stripe, so
   /// concurrent shard workers never ping-pong one shared cache line.  The
   /// serial path (no worker context) keeps a plain non-atomic add.
@@ -177,6 +192,7 @@ class Fabric {
   std::vector<Endpoint> endpoints_;
   sim::Trace* trace_;
   sim::FaultInjector* fault_ = nullptr;
+  race::RaceDetector* race_ = nullptr;  ///< src/race observer; not owned
   std::vector<sim::ShardId> shard_map_;  ///< node -> shard; empty = off
 
   /// Stripe 0 belongs to the serial path (and the coordinator outside a

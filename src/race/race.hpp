@@ -1,0 +1,239 @@
+#pragma once
+
+// bcs-race: deterministic shard-ownership race detector for the parallel
+// engine (DESIGN.md §10).
+//
+// The parallel mode's byte-identity guarantee (DESIGN.md §6) holds only for
+// workloads honouring the shard contract: shards interact exclusively
+// through Engine::handoff().  Scheduling violations (cross-shard atOn /
+// cancel inside a window) already fail loudly — but cross-shard *data*
+// accesses are invisible: a model callback on shard 1 that pokes state owned
+// by shard 5 races silently, and TSan only catches the interleavings it
+// happens to see (and nothing at all on a 1-core host, or at threads=1).
+//
+// This detector closes that hole the same way bcs-verify audits the
+// protocol: as a pure observer over the *logical* execution.  An ownership
+// registry tags simulator state (per-node runtime NodeState, per-rank
+// request tables, BCS core var/event tables, fabric endpoints, shard
+// queues, pool/stat stripes) with its owning shard; instrumentation hooks
+// record per-window read/write access sets keyed by (object, field group,
+// executing shard) with event-key + call-site provenance; at every barrier
+// the access sets merge in canonical shard order and any (object, group)
+// touched by two shards in one window — or written by a non-owner — becomes
+// a structured finding.  Because accesses are keyed by the canonical event
+// key (identical serial/parallel, any thread count) and merged in a
+// canonical order, the same seed yields the same RaceReport at threads=1
+// and threads=8 — the detector sees every logical race on every run, where
+// TSan sees only physically-exhibited ones.  Clean runs stay byte-identical
+// detector-on/off: findings are the only thing it ever traces.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace bcs::sim {
+class Trace;
+}
+
+namespace bcs::race {
+
+/// What a tracked object is.  The (kind, id) pair names one object:
+///   kNodeState      — bcsmpi per-node runtime state; id = node
+///   kRankTable      — bcsmpi per-rank request table; id = (job << 16) | rank
+///   kCoreVars       — BCS core variable row; id = node
+///   kCoreEvents     — BCS core event row; id = node
+///   kFabricEndpoint — fabric NIC endpoint; id = node
+///   kShardQueue     — an engine shard's pending-event queue; id = shard
+///   kPoolStripe     — payload-pool freelist stripe; id = stripe (exempt)
+///   kStatStripe     — fabric statistics stripe; id = stripe (exempt)
+enum class ObjectKind : std::uint8_t {
+  kNodeState,
+  kRankTable,
+  kCoreVars,
+  kCoreEvents,
+  kFabricEndpoint,
+  kShardQueue,
+  kPoolStripe,
+  kStatStripe,
+};
+const char* objectKindName(ObjectKind k);
+
+/// Which part of the object was touched.  Conflicts are detected at
+/// (object, group) granularity: two shards touching *different* groups of
+/// one NodeState in a window is still a finding-free run only if the groups
+/// really are disjoint state — which is exactly what the grouping asserts.
+enum class FieldGroup : std::uint8_t {
+  kBufferSender,    // send-side descriptor FIFOs and retry queues
+  kBufferReceiver,  // receive-side posted/unexpected tables
+  kCollectives,     // collective descriptors and reduction scratch
+  kDma,             // chunk progress and scheduled gets
+  kNodeManager,     // slice scheduling, watchdog, membership
+  kPhase,           // DEM/MSM/P2P/BBM/RM microphase entry state
+  kRequests,        // per-rank request table
+  kVars,            // BCS core variable cells
+  kEvents,          // BCS core event cells
+  kEgress,          // endpoint egress (injection) side
+  kIngress,         // endpoint ingress (delivery) side
+  kQueue,           // the shard queue itself (cross-shard atOn/cancel)
+  kStripe,          // striped shared state (exempt by construction)
+};
+const char* fieldGroupName(FieldGroup g);
+
+enum class Category : std::uint8_t {
+  kWriteWrite,          // two shards wrote one (object, group) in a window
+  kReadWrite,           // one wrote, another read, same window
+  kOwnershipViolation,  // a single non-owner shard wrote
+};
+constexpr int kNumCategories = 3;
+const char* categoryName(Category c);
+
+/// One confirmed finding.  `detail` carries the full provenance (event
+/// keys, times, call sites) pre-rendered; everything is deterministic, so
+/// reports compare with ==.
+struct Finding {
+  Category category;
+  sim::SimTime time = 0;  ///< merge boundary the conflict surfaced at
+  ObjectKind kind;
+  std::uint64_t id = 0;
+  FieldGroup group;
+  std::string detail;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Mirrors verify::VerifyReport: exact per-category counters, a capped
+/// finding list, and a render() for humans.
+struct RaceReport {
+  std::uint64_t counts[kNumCategories] = {};
+  std::vector<Finding> findings;
+  std::uint64_t dropped_findings = 0;  ///< found beyond the retention cap
+
+  std::uint64_t windows_merged = 0;
+  std::uint64_t accesses_recorded = 0;
+  std::uint64_t objects_tracked = 0;  ///< registry size at last merge
+  bool finalized = false;
+
+  bool clean() const;
+  std::string render() const;
+
+  bool operator==(const RaceReport&) const = default;
+};
+
+/// The detector.  Construct, then attach with Engine::setShardObserver
+/// (the bcsmpi Runtime does both when BcsMpiConfig::race_detect is set).
+///
+/// Thread-safety contract (all deterministic-by-construction, no atomics):
+///   * record() may be called from any worker mid-window; it writes only
+///     the executing shard's table, and a shard belongs to exactly one
+///     worker for the whole run.
+///   * registerObject()/registerShared() are setup-time (no run active).
+///   * onBarrier() runs on the coordinator with workers quiesced;
+///     onSliceBoundary() no-ops inside a parallel window (the barrier
+///     merge supersedes it) so serial and parallel runs merge on the same
+///     slice grid.
+///   * finalize() is for after run() returns (Runtime::raceAudit()).
+class RaceDetector final : public sim::ShardAccessObserver {
+ public:
+  enum class Access : std::uint8_t { kRead, kWrite };
+
+  /// Shards above this are untrackable (the table array is pre-sized so
+  /// workers never resize shared structure mid-window); recording from a
+  /// higher shard fails the simulation loudly.
+  static constexpr std::size_t kMaxTrackedShards = 1024;
+
+  RaceDetector(sim::Engine& engine, sim::Trace* trace,
+               std::size_t max_findings = 256);
+  ~RaceDetector() override;
+
+  // ----- ownership registry (setup-time) -----
+
+  /// Declares `(kind, id)` owned by `owner`.  Re-registration overwrites
+  /// (Fabric::setShardMap re-tags endpoints).  Unregistered objects default
+  /// to shard 0 — the serial world's single shard.
+  void registerObject(ObjectKind kind, std::uint64_t id, sim::ShardId owner);
+
+  /// Declares `(kind, id)` intentionally shared (striped pools/stats whose
+  /// internal synchronization is their own): recorded but never a finding.
+  void registerShared(ObjectKind kind, std::uint64_t id);
+
+  // ----- instrumentation (any worker, mid-window) -----
+
+  /// Records one access by the executing event.  No-op outside event
+  /// execution (setup/teardown code runs single-threaded by construction).
+  /// `site` must be a string literal — it is stored by pointer.
+  void record(ObjectKind kind, std::uint64_t id, FieldGroup group,
+              Access access, const char* site);
+
+  // ----- sim::ShardAccessObserver -----
+
+  void onSerialCrossShard(sim::ShardId target, const char* what) override;
+  void onBarrier(sim::SimTime boundary) override;
+
+  // ----- merge points and report -----
+
+  /// Serial-mode window boundary (the Runtime calls this at every slice
+  /// start, mirroring the parallel barrier grid).  Inside a parallel window
+  /// it is a no-op: the engine barrier already merges there, and merging
+  /// from a worker would read other workers' live tables.
+  void onSliceBoundary(sim::SimTime boundary);
+
+  /// Merges any outstanding accesses and seals the report.  Idempotent.
+  const RaceReport& finalize(sim::SimTime now);
+
+  const RaceReport& report() const { return report_; }
+
+ private:
+  struct ObjectKey {
+    ObjectKind kind;
+    FieldGroup group;
+    std::uint64_t id;
+    auto operator<=>(const ObjectKey&) const = default;
+  };
+
+  /// First-access provenance: canonical event key + sim time + call site.
+  struct Provenance {
+    std::uint64_t event_key = 0;
+    sim::SimTime time = 0;
+    const char* site = nullptr;
+  };
+
+  struct AccessEntry {
+    Provenance first_read;
+    Provenance first_write;
+    std::uint32_t reads = 0;
+    std::uint32_t writes = 0;
+  };
+
+  /// One shard's window access set.  alignas(64) so two workers' tables
+  /// never share a cache line; `touched` lets the merge skip the (many)
+  /// idle shards without scanning their maps.
+  struct alignas(64) ShardTable {
+    std::map<ObjectKey, AccessEntry> acc;  // ordered: merge order is canonical
+    bool touched = false;
+  };
+
+  struct OwnerInfo {
+    sim::ShardId owner = 0;
+    bool shared = false;
+  };
+
+  void mergeTables(sim::SimTime boundary);
+  OwnerInfo ownerOf(const ObjectKey& key) const;
+  void addFinding(Category cat, sim::SimTime boundary, const ObjectKey& key,
+                  std::string detail);
+  static std::string describe(const ObjectKey& key);
+  static std::string describeAccess(sim::ShardId shard, const Provenance& p);
+
+  sim::Engine& engine_;
+  sim::Trace* trace_;  // findings only; clean runs never touch it
+  std::size_t max_findings_;
+  std::vector<ShardTable> tables_;  // indexed by shard, fixed size
+  std::map<std::pair<std::uint8_t, std::uint64_t>, OwnerInfo> registry_;
+  RaceReport report_;
+};
+
+}  // namespace bcs::race

@@ -356,6 +356,12 @@ Engine::Prep Engine::beginScheduleOn(ShardId shard, SimTime when) {
     return Prep{acquireNodeCtx(*ctx), ctx, shard};
   }
   if (when < now_) failSchedulePast(when, now_);
+  // The serial engine has always allowed cross-shard atOn silently (the
+  // parallel mode rejects it above).  Surface it to the race detector: it
+  // is a write into the target shard's queue by the executing event.
+  if (observer_ != nullptr && cur_key_ != 0 && shard != cur_shard_) {
+    observer_->onSerialCrossShard(shard, "Engine::atOn");
+  }
   return Prep{acquireNode(), nullptr, shard};
 }
 
@@ -433,6 +439,11 @@ bool Engine::cancel(EventId id) {
     ++ctx->cancelled;
     return true;
   }
+  // Serial-mode cross-shard cancel: allowed (the parallel mode fails
+  // loudly), but reported to the race detector as a foreign-queue write.
+  if (observer_ != nullptr && cur_key_ != 0 && n.shard != cur_shard_) {
+    observer_->onSerialCrossShard(n.shard, "Engine::cancel");
+  }
   n.armed = false;  // queue entry becomes a tombstone, reclaimed lazily
   n.fn.reset();
   --live_;
@@ -443,6 +454,16 @@ bool Engine::cancel(EventId id) {
 SimTime Engine::nowParallel() const {
   const detail::ExecContext* ctx = detail::t_ctx;
   return (ctx != nullptr && ctx->eng == this) ? ctx->now : now_;
+}
+
+ShardId Engine::currentShard() const {
+  const detail::ExecContext* ctx = detail::t_ctx;
+  return (ctx != nullptr && ctx->eng == this) ? ctx->cur_shard : cur_shard_;
+}
+
+std::uint64_t Engine::currentEventKey() const {
+  const detail::ExecContext* ctx = detail::t_ctx;
+  return (ctx != nullptr && ctx->eng == this) ? ctx->cur_key : cur_key_;
 }
 
 // ---------------------------------------------------------------------------
@@ -457,6 +478,7 @@ void Engine::fire(const QEntry& entry) {
   now_ = entry.when;
   Node& n = node(entry.slot);
   cur_shard_ = n.shard;
+  cur_key_ = entry.key;
   n.armed = false;
   --live_;
   ++executed_;
@@ -481,6 +503,7 @@ bool Engine::step() {
   extract(from_overflow);
   fire(entry);
   cur_shard_ = 0;
+  cur_key_ = 0;
   return true;
 }
 
@@ -540,6 +563,7 @@ SimTime Engine::run(SimTime until) {
     fire(wheel_top);
   }
   cur_shard_ = 0;
+  cur_key_ = 0;
   if (now_ < until && until != INT64_MAX) now_ = until;
   return now_;
 }
@@ -785,6 +809,7 @@ void Engine::finishParallel() {
   ctxs_.clear();
   par_active_ = false;
   cur_shard_ = 0;
+  cur_key_ = 0;
 }
 
 SimTime Engine::run(const ParallelPolicy& policy, SimTime until) {
@@ -904,6 +929,9 @@ SimTime Engine::run(const ParallelPolicy& policy, SimTime until) {
       }
 #endif
       mergeWindow();
+      // All worker effects up to `wend` are now committed on this thread;
+      // the race detector merges its per-shard access tables here.
+      if (observer_ != nullptr) observer_->onBarrier(wend);
     }
 #if defined(__cpp_exceptions)
   } catch (...) {

@@ -281,6 +281,27 @@ class EventCallback {
   const VTable* vt_ = nullptr;
 };
 
+/// Pure observer of shard-contract-relevant execution points, attached via
+/// Engine::setShardObserver (the shard-ownership race detector in src/race
+/// is the one implementation).  The engine guarantees:
+///   * onSerialCrossShard fires only in *serial* mode, when an executing
+///     event schedules onto or cancels an event of another shard — the
+///     operations the parallel mode rejects loudly but the serial engine
+///     has always allowed silently;
+///   * onBarrier fires on the coordinating thread after a parallel window
+///     merge, with every worker quiesced and all deferred effects
+///     committed — the one point where cross-worker state may be read.
+/// Observers must not schedule, cancel or otherwise mutate engine state.
+class ShardAccessObserver {
+ public:
+  virtual ~ShardAccessObserver() = default;
+  /// `target` is the foreign shard; `what` a static call-site label
+  /// ("Engine::atOn" / "Engine::cancel").
+  virtual void onSerialCrossShard(ShardId target, const char* what) = 0;
+  /// `boundary` is the merged window's end time (the barrier grid point).
+  virtual void onBarrier(SimTime boundary) = 0;
+};
+
 /// The event engine.  Owns the clock and the pending-event queue.
 class Engine {
  public:
@@ -395,6 +416,23 @@ class Engine {
     dropped_tombstones_ = 0;
   }
 
+  /// Attaches (or detaches, with nullptr) a shard-access observer.  At most
+  /// one; the caller keeps ownership and must outlive the engine or detach
+  /// first.
+  void setShardObserver(ShardAccessObserver* obs) { observer_ = obs; }
+  ShardAccessObserver* shardObserver() const { return observer_; }
+
+  /// Shard of the event executing on the calling thread (serial or
+  /// parallel); 0 outside event execution.
+  ShardId currentShard() const;
+
+  /// Canonical ordering key of the event executing on the calling thread —
+  /// (shard | handoff band | seq), identical between serial and parallel
+  /// runs of the same workload — or 0 outside event execution (per-shard
+  /// sequences start at 1, so no real event has key 0).  This is the
+  /// provenance anchor the race detector stamps on every recorded access.
+  std::uint64_t currentEventKey() const;
+
  private:
   /// Pooled event node.  The ordering key (when, key) lives only in the
   /// queue entry; the node carries just the callback and handle state, so a
@@ -507,6 +545,8 @@ class Engine {
   std::vector<std::uint64_t> shard_seq_;
   std::uint64_t handoff_seq_ = 1;
   ShardId cur_shard_ = 0;  ///< shard of the event firing in serial mode
+  std::uint64_t cur_key_ = 0;  ///< key of the event firing in serial mode
+  ShardAccessObserver* observer_ = nullptr;  ///< src/race detector, if any
 
   std::vector<std::unique_ptr<Node[]>> chunks_;  ///< stable pooled nodes
   /// Slots handed out so far.  Atomic only for the relaxed bounds check in

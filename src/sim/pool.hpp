@@ -20,8 +20,22 @@
 //
 // Lifetime: the freelist state is itself held by shared_ptr and captured by
 // every deleter, so handles may outlive the pool object (events still queued
-// in the engine when the owning Runtime dies drop their buffers safely —
-// they just free instead of recycling once the pool is gone).
+// in the engine when the owning Runtime dies drop their buffers safely).
+// The full post-mortem sequence, audited because it is easy to get wrong:
+//   1. The pool object dies; `state_` drops one reference, but every live
+//      handle's deleter still holds one, so State survives.
+//   2. A handle released after that parks its buffer in the orphaned
+//      State's stripe exactly as before — recycling still "works", the
+//      buffer just has no pool left to hand it out again.
+//   3. When the last handle dies, its deleter runs, then the captured
+//      shared_ptr<State> releases the final reference; the stripes'
+//      unique_ptrs free every parked buffer.  No step touches the dead
+//      pool object, so there is no use-after-free window and no leak
+//      (tests/test_sim.cpp pins this under the sanitize preset).
+// The State keeps an atomic count of outstanding handles (liveHandles())
+// so callers can observe the contract; every wrap() increments it and the
+// deleter decrements it, whichever thread — or pool lifetime — the release
+// happens under.
 
 #include <atomic>
 #include <cstddef>
@@ -61,6 +75,13 @@ class PayloadPool {
     return wrap(raw);
   }
 
+  /// Handles currently outstanding (acquired, deleter not yet run).  The
+  /// count survives in the shared State, so it stays meaningful for
+  /// handles that outlive the pool object.  Diagnostic use only.
+  std::size_t liveHandles() const {
+    return state_->live.load(std::memory_order_relaxed);
+  }
+
   /// Total spare buffers across stripes.  Takes each stripe lock briefly;
   /// diagnostic use only.
   std::size_t spareBuffers() const {
@@ -80,6 +101,7 @@ class PayloadPool {
 
   struct State {
     Stripe stripes[kStripes];
+    std::atomic<std::size_t> live{0};  // outstanding handles (see above)
   };
 
   struct LockGuard {
@@ -115,7 +137,9 @@ class PayloadPool {
   }
 
   Ptr wrap(Buffer* raw) {
+    state_->live.fetch_add(1, std::memory_order_relaxed);
     return Ptr(raw, [st = state_](Buffer* b) {
+      st->live.fetch_sub(1, std::memory_order_relaxed);
       Stripe& stripe = st->stripes[homeStripe()];
       {
         LockGuard guard(stripe.busy);

@@ -22,6 +22,7 @@ const char* traceCategoryName(TraceCategory c) {
     case TraceCategory::kFailover: return "FAILOVER";
     case TraceCategory::kVerify: return "VERIFY";
     case TraceCategory::kApp: return "APP";
+    case TraceCategory::kRace: return "RACE";
   }
   return "?";
 }

@@ -31,6 +31,7 @@ enum class TraceCategory : std::uint8_t {
   kFailover,    // control-plane failover: watchdogs, elections, rejoins
   kVerify,      // protocol-verifier findings (src/verify)
   kApp,
+  kRace,        // shard-ownership race-detector findings (src/race)
 };
 
 const char* traceCategoryName(TraceCategory c);

@@ -19,6 +19,7 @@
 
 #include "bcsmpi/comm.hpp"
 #include "net/cluster.hpp"
+#include "race/race.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
@@ -54,7 +55,8 @@ struct TrafficOut {
 /// paths each send takes depends entirely on the map, so the serial
 /// reference must run under the *same* map.
 TrafficOut runMappedTraffic(const std::vector<sim::ShardId>& map,
-                            const sim::ParallelPolicy* policy) {
+                            const sim::ParallelPolicy* policy,
+                            race::RaceReport* race_report = nullptr) {
   constexpr int K = 16;
   constexpr int kRounds = 8;
 
@@ -64,6 +66,14 @@ TrafficOut runMappedTraffic(const std::vector<sim::ShardId>& map,
   auto fabric = std::make_shared<net::Fabric>(
       *eng, net::NetworkParams::qsnet(), K, trace.get());
   fabric->setShardMap(map);
+  // Optionally run with the shard-ownership race detector watching: the
+  // traffic honours the shard contract, so it must find nothing and must
+  // not perturb a byte.
+  std::unique_ptr<race::RaceDetector> det;
+  if (race_report != nullptr) {
+    det = std::make_unique<race::RaceDetector>(*eng, trace.get());
+    fabric->setRaceDetector(det.get());
+  }
 
   auto received = std::make_shared<std::vector<int>>(K, 0);
   auto send = std::make_shared<std::function<void(int, int)>>();
@@ -94,7 +104,45 @@ TrafficOut runMappedTraffic(const std::vector<sim::ShardId>& map,
   out.executed = eng->executedEvents();
   out.cancelled = eng->cancelledEvents();
   out.received = *received;
+  if (det) {
+    *race_report = det->finalize(eng->now());
+    fabric->setRaceDetector(nullptr);
+  }
   return out;
+}
+
+TEST(ParallelStress, DetectorOnMappedTrafficIsCleanAndByteIdentical) {
+  constexpr int K = 16;
+  // A fixed skewed placement: contract-honouring traffic over four shards.
+  std::vector<sim::ShardId> map(K);
+  for (int n = 0; n < K; ++n) {
+    map[static_cast<std::size_t>(n)] = static_cast<sim::ShardId>(n % 4);
+  }
+  const TrafficOut ref = runMappedTraffic(map, nullptr);
+
+  race::RaceReport serial_rep;
+  EXPECT_EQ(runMappedTraffic(map, nullptr, &serial_rep), ref);
+  EXPECT_TRUE(serial_rep.clean()) << serial_rep.render();
+  EXPECT_GT(serial_rep.accesses_recorded, 100u);  // it really was watching
+
+  race::RaceReport par_ref;
+  for (int threads : {2, 4}) {
+    sim::ParallelPolicy policy;
+    policy.threads = threads;
+    policy.window = usec(1);
+    policy.clamp_to_hardware = false;
+    race::RaceReport rep;
+    EXPECT_EQ(runMappedTraffic(map, &policy, &rep), ref)
+        << "threads=" << threads;
+    EXPECT_TRUE(rep.clean()) << rep.render();
+    // Same barrier grid, same logical accesses: the parallel reports match
+    // each other exactly, whatever the thread count.
+    if (threads == 2) {
+      par_ref = rep;
+    } else {
+      EXPECT_EQ(rep, par_ref);
+    }
+  }
 }
 
 TEST(ParallelStress, RandomShardMapsMatchSerialAcrossThreadsAndWindows) {

@@ -671,4 +671,27 @@ TEST(Arena, PayloadPoolCrossThreadReleaseIsSafe) {
   survivor.reset();  // ...the orphaned handle must still free cleanly
 }
 
+TEST(Arena, PayloadPoolHandlesOutlivingPoolRecycleAndFree) {
+  // The audited post-mortem sequence from pool.hpp: handles that outlive
+  // the pool object keep the shared State alive, park their buffers in its
+  // orphaned stripes on release (from any thread), and the last deleter
+  // frees everything when it drops the final State reference.  Runs under
+  // the sanitize preset (label: arena), so a leak or use-after-free in any
+  // step fails the build, not just this assertion list.
+  auto pool = std::make_unique<PayloadPool>();
+  auto a = pool->acquire(256);
+  auto b = pool->acquire(256);
+  auto c = pool->acquire(256);
+  EXPECT_EQ(pool->liveHandles(), 3u);
+  a.reset();  // released while the pool is alive: normal recycle
+  EXPECT_EQ(pool->liveHandles(), 2u);
+
+  pool.reset();  // the pool dies with two handles still outstanding
+  b.reset();     // parks in the orphaned State's stripe — no pool touched
+  std::thread t([moved = std::move(c)]() mutable {
+    moved.reset();  // last handle, released cross-thread: State + parked
+  });               // buffers free here
+  t.join();
+}
+
 }  // namespace

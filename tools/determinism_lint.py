@@ -27,12 +27,19 @@ observes those paths:
      not an escape hatch.  Code that cannot justify itself converts to
      ordered iteration instead (see sim/cpu.cpp's task table).
 
+  3. Stale annotations: a det-ok whose reach (its own line plus the three
+     lines below) contains no unordered container is an audit trail
+     pointing at nothing — usually left behind by a refactor.  Left in
+     place it would silently bless the next unordered container someone
+     adds nearby, so it is an error too: drop the marker or move it next
+     to the container it audits.
+
 Zero third-party dependencies; line/regex based by design so it runs
 anywhere a Python interpreter exists, with no compiler involvement.
 
 Usage: tools/determinism_lint.py [paths...]   (default: src/sim src/bcsmpi
-src/storm src/verify, relative to the repository root, which is inferred
-from this file's location)
+src/storm src/verify src/snapshot src/codec src/race, relative to the
+repository root, which is inferred from this file's location)
 """
 
 import re
@@ -40,7 +47,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/storm", "src/verify",
-                 "src/snapshot"]
+                 "src/snapshot", "src/codec", "src/race"]
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 
 BANNED = [
@@ -131,14 +138,30 @@ def lint_file(path: Path):
                     "// det-ok: justification (convert to ordered "
                     "iteration or document why hash order cannot leak)")
 
-    # Orphaned / malformed annotations anywhere in the file.
+    # Orphaned / malformed / stale annotations anywhere in the file.
     for idx, rawline in enumerate(raw):
         m = DET_OK.search(rawline)
-        if m and not m.group(1).strip():
+        if not m:
+            continue
+        if not m.group(1).strip():
             msg = f"{path}:{idx + 1}: det-ok with empty justification " \
                   "(the annotation is an audit trail, not an escape hatch)"
             if msg not in findings:
                 findings.append(msg)
+            continue
+        # A det-ok blesses its own line and the DET_OK_REACH lines below
+        # (det_ok_near scans that far up from a flagged container).  If no
+        # unordered container lives in that reach, the annotation audits
+        # nothing — and would silently bless whatever container gets added
+        # near it next.
+        reach = code[idx:idx + DET_OK_REACH + 1]
+        if not any(UNORDERED.search(l) and "#include" not in l
+                   for l in reach):
+            findings.append(
+                f"{path}:{idx + 1}: stale det-ok annotation: no unordered "
+                f"container on this line or the {DET_OK_REACH} lines below "
+                "(drop the marker or move it next to the container it "
+                "audits)")
     return findings
 
 
