@@ -1,0 +1,234 @@
+// One-sided self-scheduling benchmark (DESIGN.md §11): the fetch-add
+// work-stealing loop on the BCS-MPI runtime vs a static partition on the
+// baseline (rendezvous) runtime, under a 4x linear load imbalance.
+//
+//   * rma_dyn_makespan_ms    — last-rank finish time of the dynamic
+//                              self-scheduler (idle ranks steal chunk
+//                              indices with bcs_fetch_add);
+//   * rma_static_makespan_ms — same iteration space, block-partitioned,
+//                              on the baseline runtime;
+//   * rma_speedup            — static / dynamic (gated >= 1.1x: stealing
+//                              must beat the partition even though every
+//                              claim pays the global-slice latency);
+//   * rma_coalesce_ratio     — ops per batch descriptor when many small
+//                              puts to one destination are posted in one
+//                              slice (gated >= 8x: the coalescing layer
+//                              must actually fold them into few batches).
+//
+// All four rows are simulated-time (or counter) metrics — deterministic,
+// so the baseline comparison is a behaviour gate, not a wall-clock one.
+// Results are appended to BENCH_rma.json; with --baseline <json> the rows
+// are compared against the checked-in BENCH_engine.json (keys absent there
+// are skipped).  This is the `bench_rma_quick` CTest entry.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/selfsched.hpp"
+#include "baseline/baseline.hpp"
+#include "bcsmpi/comm.hpp"
+#include "net/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace bcs;
+using sim::msec;
+using sim::usec;
+
+constexpr int kRanks = 16;
+
+apps::SelfSchedConfig loopConfig() {
+  apps::SelfSchedConfig cfg;
+  cfg.chunks = 256;
+  cfg.chunk_batch = 4;          // amortize the slice-latency per claim
+  cfg.base_cost = msec(1);
+  cfg.cost_ramp = 4.0;          // chunk 255 costs 4x chunk 0
+  return cfg;
+}
+
+double makespanMs(const std::vector<sim::SimTime>& finish) {
+  sim::SimTime last = 0;
+  for (sim::SimTime t : finish) last = std::max(last, t);
+  return sim::toUsec(last) / 1000.0;
+}
+
+/// Dynamic self-scheduler on the BCS-MPI runtime.
+double dynMakespanMs() {
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = kRanks;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(100);
+  std::vector<int> map(kRanks);
+  std::iota(map.begin(), map.end(), 0);
+  std::vector<sim::SimTime> finish;
+  const apps::SelfSchedConfig loop = loopConfig();
+  bcsmpi::runJob(cluster, cfg, map,
+                 [&loop](mpi::Comm& comm) { apps::selfSchedule(comm, loop); },
+                 &finish);
+  return makespanMs(finish);
+}
+
+/// Static block partition on the baseline rendezvous runtime.
+double staticMakespanMs() {
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = kRanks;
+  net::Cluster cluster(ccfg);
+  baseline::BaselineConfig cfg;
+  cfg.init_overhead = usec(100);
+  std::vector<int> map(kRanks);
+  std::iota(map.begin(), map.end(), 0);
+  std::vector<sim::SimTime> finish;
+  const apps::SelfSchedConfig loop = loopConfig();
+  baseline::runJob(cluster, cfg, map,
+                   [&loop](mpi::Comm& comm) {
+                     apps::staticSchedule(comm, loop);
+                   },
+                   &finish);
+  return makespanMs(finish);
+}
+
+/// Coalescing ratio: three origins each post 32 async 64B puts to rank 0's
+/// window inside one slice; the coalescing layer must batch each origin's
+/// burst into one descriptor.
+double coalesceRatio() {
+  const int P = 4;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  net::Cluster cluster(ccfg);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(100);
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  std::vector<std::uint8_t> window_mem(32768, 0);
+  bcsmpi::launchJob(*runtime, map, [&window_mem](mpi::Comm& comm) {
+    auto& api = static_cast<bcsmpi::BcsComm&>(comm).api();
+    bcsmpi::BcsWindow win{0};
+    if (comm.rank() == 0) {
+      win = api.winCreate(window_mem.data(), window_mem.size());
+    }
+    comm.barrier();
+    if (comm.rank() != 0) {
+      std::vector<std::uint8_t> payload(
+          64, static_cast<std::uint8_t>(comm.rank()));
+      std::vector<bcsmpi::BcsRequest> reqs;
+      for (int i = 0; i < 32; ++i) {
+        const std::size_t offset =
+            (static_cast<std::size_t>(comm.rank()) * 32 +
+             static_cast<std::size_t>(i)) *
+            64;
+        reqs.push_back(
+            api.putAsync(payload.data(), payload.size(), 0, win, offset));
+      }
+      for (bcsmpi::BcsRequest& r : reqs) api.test(r, /*blocking=*/true);
+    }
+    comm.barrier();
+  });
+  cluster.run();
+  const auto& stats = runtime->stats();
+  if (stats.rma_batches == 0) return 0.0;
+  return static_cast<double>(stats.rma_ops) /
+         static_cast<double>(stats.rma_batches);
+}
+
+double jsonNumber(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_rma.json";
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  std::map<std::string, double> results;
+
+  std::printf("self-scheduling under 4x load imbalance (%d ranks, %d "
+              "chunks)\n", kRanks, loopConfig().chunks);
+  const double dyn_ms = dynMakespanMs();
+  const double static_ms = staticMakespanMs();
+  const double speedup = static_ms / dyn_ms;
+  results["rma_dyn_makespan_ms"] = dyn_ms;
+  results["rma_static_makespan_ms"] = static_ms;
+  results["rma_speedup"] = speedup;
+  std::printf("  dynamic (fetch-add stealing) %8.2f ms\n", dyn_ms);
+  std::printf("  static  (block partition)    %8.2f ms\n", static_ms);
+  std::printf("  speedup %.2fx\n", speedup);
+
+  const double ratio = coalesceRatio();
+  results["rma_coalesce_ratio"] = ratio;
+  std::printf("put coalescing: %.1f ops per batch descriptor\n", ratio);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"rma\"";
+  for (const auto& [key, value] : results) {
+    json << ",\n  \"" << key << "\": " << value;
+  }
+  json << "\n}\n";
+  {
+    std::ofstream f(out_path);
+    f << json.str();
+  }
+  std::printf("wrote %s\n", out_path);
+
+  int failures = 0;
+  // Hard floors — the point of the one-sided layer.
+  if (speedup < 1.1) {
+    std::printf("REGRESSION rma_speedup: %.2fx below the 1.1x floor\n",
+                speedup);
+    ++failures;
+  }
+  if (ratio < 8.0) {
+    std::printf("REGRESSION rma_coalesce_ratio: %.1f below the 8.0 floor\n",
+                ratio);
+    ++failures;
+  }
+  // Drift gate vs the checked-in rows: these are simulated-time metrics,
+  // so a >30% move means the epoch pipeline's behaviour changed.
+  if (baseline_path != nullptr) {
+    std::ifstream f(baseline_path);
+    if (!f) {
+      std::printf("baseline %s missing; skipping drift gate\n",
+                  baseline_path);
+    } else {
+      std::stringstream buf;
+      buf << f.rdbuf();
+      const std::string base = buf.str();
+      for (const auto& [key, value] : results) {
+        const double ref = jsonNumber(base, key);
+        if (!(ref > 0)) continue;  // key absent in the baseline
+        if (std::fabs(value - ref) > 0.30 * ref) {
+          std::printf("DRIFT %s: %.4g vs baseline %.4g\n", key.c_str(),
+                      value, ref);
+          ++failures;
+        }
+      }
+    }
+  }
+  if (failures > 0) return 1;
+  std::printf("rma gate: ok (speedup floor 1.1x, coalesce floor 8.0)\n");
+  return 0;
+}

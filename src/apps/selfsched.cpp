@@ -1,0 +1,110 @@
+#include "apps/selfsched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "bcsmpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace bcs::apps {
+
+namespace {
+
+std::uint64_t fnv1a(const std::vector<int>& v) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int x : v) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= static_cast<std::uint64_t>((static_cast<std::uint32_t>(x) >>
+                                       (8 * b)) &
+                                      0xff);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+// Merge the per-rank claim map into a global chunk→owner map + digest.
+// Encoding claims as rank+1 keeps "unclaimed" (0) distinct from rank 0.
+void mergeOwners(mpi::Comm& comm, const SelfSchedConfig& cfg,
+                 SelfSchedResult& out) {
+  std::vector<std::int64_t> mine(static_cast<std::size_t>(cfg.chunks), 0);
+  for (int c : out.chunks) mine[static_cast<std::size_t>(c)] = comm.rank() + 1;
+  std::vector<std::int64_t> all(static_cast<std::size_t>(cfg.chunks), 0);
+  comm.allreduce(mine.data(), all.data(), mine.size(),
+                 mpi::Datatype::kInt64, mpi::ReduceOp::kSum);
+  out.owners.resize(static_cast<std::size_t>(cfg.chunks));
+  for (std::size_t c = 0; c < all.size(); ++c) {
+    out.owners[c] = static_cast<int>(all[c]) - 1;
+  }
+  out.digest = fnv1a(out.owners);
+}
+
+}  // namespace
+
+sim::Duration chunkCost(const SelfSchedConfig& cfg, int chunk) {
+  const double span = cfg.chunks > 1 ? static_cast<double>(cfg.chunks - 1)
+                                     : 1.0;
+  const double factor =
+      1.0 + (cfg.cost_ramp - 1.0) * static_cast<double>(chunk) / span;
+  return static_cast<sim::Duration>(
+      std::llround(static_cast<double>(cfg.base_cost) * factor));
+}
+
+SelfSchedResult selfSchedule(mpi::Comm& comm, const SelfSchedConfig& cfg) {
+  auto* bcs = dynamic_cast<bcsmpi::BcsComm*>(&comm);
+  if (!bcs) {
+    throw sim::SimError(
+        "selfSchedule needs a BcsComm (the chunk counter lives in a "
+        "one-sided window); use staticSchedule on other runtimes");
+  }
+  bcsmpi::BcsApi& api = bcs->api();
+  SelfSchedResult out;
+
+  // Rank 0 homes the shared chunk counter.  The leading barrier orders
+  // window registration before the first steal; the trailing one keeps the
+  // counter's storage alive until every remote fetch-add has returned.
+  std::int64_t counter = 0;
+  bcsmpi::BcsWindow win{};
+  if (comm.rank() == 0) win = api.winCreate(&counter, sizeof(counter));
+  comm.barrier();
+  int win_id = win.id;
+  comm.bcast(&win_id, sizeof(win_id), /*root=*/0);
+  win.id = win_id;
+
+  const int batch = std::max(1, cfg.chunk_batch);
+  while (true) {
+    mpi::Status st;
+    const std::int64_t start =
+        api.fetchAdd(/*target=*/0, win, /*offset=*/0, batch, &st);
+    if (st.error != mpi::kSuccess) break;  // counter owner unreachable
+    if (start >= cfg.chunks) break;
+    const std::int64_t end =
+        std::min<std::int64_t>(start + batch, cfg.chunks);
+    for (std::int64_t c = start; c < end; ++c) {
+      comm.compute(chunkCost(cfg, static_cast<int>(c)));
+      out.chunks.push_back(static_cast<int>(c));
+    }
+  }
+  comm.barrier();
+  mergeOwners(comm, cfg, out);
+  return out;
+}
+
+SelfSchedResult staticSchedule(mpi::Comm& comm, const SelfSchedConfig& cfg) {
+  SelfSchedResult out;
+  const int size = comm.size();
+  const int lo = static_cast<int>(
+      static_cast<std::int64_t>(cfg.chunks) * comm.rank() / size);
+  const int hi = static_cast<int>(
+      static_cast<std::int64_t>(cfg.chunks) * (comm.rank() + 1) / size);
+  for (int c = lo; c < hi; ++c) {
+    comm.compute(chunkCost(cfg, c));
+    out.chunks.push_back(c);
+  }
+  comm.barrier();
+  mergeOwners(comm, cfg, out);
+  return out;
+}
+
+}  // namespace bcs::apps

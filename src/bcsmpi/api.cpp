@@ -90,4 +90,50 @@ void BcsApi::reduce(bool all, const void* contrib, void* result,
   runtime_.waitRequest(job_, rank_, req, nullptr);
 }
 
+BcsWindow BcsApi::winCreate(void* base, std::size_t bytes) {
+  return BcsWindow{runtime_.createWindow(job_, rank_, base, bytes)};
+}
+
+void BcsApi::put(const void* src, std::size_t bytes, int target,
+                 BcsWindow win, std::size_t offset, mpi::Status* status) {
+  const std::uint64_t req =
+      runtime_.postPut(job_, rank_, target, win.id, offset, src, bytes);
+  runtime_.waitRequest(job_, rank_, req, status);
+}
+
+void BcsApi::get(void* dst, std::size_t bytes, int target, BcsWindow win,
+                 std::size_t offset, mpi::Status* status) {
+  const std::uint64_t req =
+      runtime_.postGet(job_, rank_, target, win.id, offset, dst, bytes);
+  runtime_.waitRequest(job_, rank_, req, status);
+}
+
+std::int64_t BcsApi::fetchAdd(int target, BcsWindow win, std::size_t offset,
+                              std::int64_t delta, mpi::Status* status) {
+  std::int64_t old = 0;
+  const std::uint64_t req =
+      runtime_.postFetchAdd(job_, rank_, target, win.id, offset, delta, &old);
+  runtime_.waitRequest(job_, rank_, req, status);
+  return old;
+}
+
+BcsRequest BcsApi::putAsync(const void* src, std::size_t bytes, int target,
+                            BcsWindow win, std::size_t offset) {
+  return BcsRequest{
+      runtime_.postPut(job_, rank_, target, win.id, offset, src, bytes)};
+}
+
+BcsRequest BcsApi::getAsync(void* dst, std::size_t bytes, int target,
+                            BcsWindow win, std::size_t offset) {
+  return BcsRequest{
+      runtime_.postGet(job_, rank_, target, win.id, offset, dst, bytes)};
+}
+
+BcsRequest BcsApi::fetchAddAsync(int target, BcsWindow win,
+                                 std::size_t offset, std::int64_t delta,
+                                 std::int64_t* old_value) {
+  return BcsRequest{runtime_.postFetchAdd(job_, rank_, target, win.id, offset,
+                                          delta, old_value)};
+}
+
 }  // namespace bcs::bcsmpi

@@ -20,6 +20,15 @@
 //   bcs_barrier()     | barrier()
 //   bcs_bcast()       | bcast()
 //   bcs_reduce()      | reduce(all flag)
+//   bcs_win_create()  | winCreate()
+//   bcs_put()         | put() / putAsync()
+//   bcs_get()         | get() / getAsync()
+//   bcs_fetch_add()   | fetchAdd() / fetchAddAsync()
+//
+// The one-sided flavour (DESIGN.md §11) is passive-target: the target never
+// posts a matching descriptor.  Ops posted in slice t apply at the target in
+// slice t's MSM microphase and the origin observes completion at the t+1
+// boundary; fetch-adds on the same word linearize in canonical rank order.
 //
 // One BcsApi instance belongs to one application process (job, rank); its
 // methods must be called from that process's fiber.
@@ -37,6 +46,13 @@ namespace bcs::bcsmpi {
 struct BcsRequest {
   std::uint64_t id = 0;
   bool null() const { return id == 0; }
+};
+
+/// Window handle returned by winCreate (BCS_Win).  Window ids are per-owner:
+/// remote ops name the pair (target rank, window id).
+struct BcsWindow {
+  int id = -1;
+  bool null() const { return id < 0; }
 };
 
 class BcsApi {
@@ -80,6 +96,24 @@ class BcsApi {
   void bcast(void* buf, std::size_t bytes, int root);
   void reduce(bool all, const void* contrib, void* result, std::size_t count,
               mpi::Datatype dt, mpi::ReduceOp op, int root);
+
+  /// One-sided RMA (passive-target epochs, DESIGN.md §11).  winCreate is
+  /// local-only: callers must barrier() before issuing remote ops against a
+  /// freshly created window, and again before reusing/freeing its memory.
+  BcsWindow winCreate(void* base, std::size_t bytes);
+  void put(const void* src, std::size_t bytes, int target, BcsWindow win,
+           std::size_t offset, mpi::Status* status = nullptr);
+  void get(void* dst, std::size_t bytes, int target, BcsWindow win,
+           std::size_t offset, mpi::Status* status = nullptr);
+  std::int64_t fetchAdd(int target, BcsWindow win, std::size_t offset,
+                        std::int64_t delta, mpi::Status* status = nullptr);
+  BcsRequest putAsync(const void* src, std::size_t bytes, int target,
+                      BcsWindow win, std::size_t offset);
+  BcsRequest getAsync(void* dst, std::size_t bytes, int target, BcsWindow win,
+                      std::size_t offset);
+  /// `old_value` must stay valid until the request completes.
+  BcsRequest fetchAddAsync(int target, BcsWindow win, std::size_t offset,
+                           std::int64_t delta, std::int64_t* old_value);
 
  private:
   Runtime& runtime_;

@@ -60,6 +60,22 @@ struct BcsMpiConfig {
   /// NIC-thread processing cost per descriptor (BS dispatch / BR intake).
   Duration nic_desc_processing = sim::usec(0.3);
 
+  /// Wire size of one one-sided operation record inside a coalesced RMA
+  /// batch descriptor (DESIGN.md §11).  Many small puts to one destination
+  /// share a single descriptor_bytes header per slice; each op adds only
+  /// this much plus its payload.
+  std::size_t rma_op_bytes = 32;
+
+  /// NIC-thread cost to apply one one-sided op to the target window during
+  /// the MSM (bounds check + copy/add dispatch).
+  Duration nic_rma_op_cost = sim::usec(0.4);
+
+  /// Coalesce all RMA ops bound for one destination node into a single
+  /// batch descriptor per slice (Carver et al., DESIGN.md §11).  Off = one
+  /// full descriptor_bytes exchange per op; epoch semantics are identical
+  /// either way, only the modeled wire cost changes.
+  bool rma_coalescing = true;
+
   /// BR cost to match one send/receive descriptor pair and build the
   /// matching descriptor.
   Duration nic_match_cost = sim::usec(0.8);

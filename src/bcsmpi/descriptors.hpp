@@ -51,6 +51,37 @@ struct MatchDescriptor {
   std::size_t offset = 0;
 };
 
+/// One-sided operation kinds (DESIGN.md §11).
+enum class RmaKind : std::uint8_t {
+  kPut,
+  kGet,
+  kFetchAdd,
+};
+
+const char* rmaKindName(RmaKind k);
+
+/// Posted by bcs_put / bcs_get / bcs_fetch_add.  Ops posted in slice t are
+/// coalesced per destination node in the DEM, applied to the target window
+/// in canonical (job, origin rank, seq) order in the MSM, and completed at
+/// the origin at the slice t+1 boundary — a passive-target epoch per slice.
+struct RmaOpDescriptor {
+  int job = 0;
+  int origin_rank = 0;
+  int target_rank = 0;
+  RmaKind kind = RmaKind::kPut;
+  int window = 0;               ///< target rank's window id
+  std::size_t offset = 0;       ///< byte offset inside the target window
+  std::size_t bytes = 0;        ///< put/get length; 8 for fetch-add
+  const std::byte* origin_src = nullptr;  ///< put payload
+  std::byte* origin_dst = nullptr;  ///< get destination / fetch-add old value
+  std::int64_t operand = 0;     ///< fetch-add delta
+  std::uint64_t request = 0;
+  sim::SimTime posted_at = 0;
+  std::uint64_t seq = 0;        ///< global posting order (canonical tiebreak)
+  int call_index = 0;           ///< per-rank RMA call number (blame sites)
+  int retries = 0;              ///< DEM retransmissions so far
+};
+
 enum class CollectiveType : std::uint8_t {
   kBarrier,
   kBcast,

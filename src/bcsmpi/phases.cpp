@@ -120,6 +120,9 @@ void Runtime::drainDescriptorFifos(int node) {
     ns.recv_eligible.insert(r);
   }
   const int coll_processed = preprocessCollectivesCount(node);
+  // One-sided ops drained from the same FIFOs, coalesced per destination
+  // (rma.cpp); a no-op with no RMA in flight.
+  drainRmaFifos(node);
 
   // NIC-thread processing time for the drained batch.
   const Duration work =
@@ -255,6 +258,9 @@ void Runtime::runMsm(int node, std::uint64_t seq) {
   Duration match_cost = 0;
   matchDescriptors(node, match_cost);
   scheduleChunks(node);
+  // Passive-target epoch apply: RMA ops that arrived in this slice's DEM
+  // hit their windows here, in canonical order (rma.cpp).
+  scheduleRmaOps(node, match_cost);
   beginNodePhase(node, seq, config_.msm_floor, match_cost);
   scheduleCollectiveQueries(node);
 }
@@ -404,9 +410,11 @@ void Runtime::runP2p(int node, std::uint64_t seq) {
   // retransmission push_back mid-phase may allocate; steady state does not).
   ns.slice_gets.reserve(gets.capacity());
   beginNodePhase(node, seq, 0,
-                 static_cast<Duration>(gets.size()) *
+                 static_cast<Duration>(gets.size() + ns.rma_returns.size()) *
                      config_.nic_desc_processing);
   issueGets(node, gets);
+  // RMA completion returns share the transmission phase with the DH gets.
+  runRmaReturns(node);
 }
 
 void Runtime::issueGets(int node, const std::vector<GetOp>& gets) {

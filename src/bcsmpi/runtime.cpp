@@ -741,6 +741,34 @@ void Runtime::runVerifyAudit() {
            "scheduled chunk (" + std::to_string(op.bytes) + "B from rank " +
                std::to_string(op.src_rank) + ") never transferred");
     }
+    for (const RmaOpDescriptor& op : ns.rma_fresh) {
+      leak(Category::kLeakedDescriptor, n, op.job, op.origin_rank,
+           std::string("rma ") + rmaKindName(op.kind) + " to window " +
+               std::to_string(op.window) + " of rank " +
+               std::to_string(op.target_rank) + " (req " +
+               std::to_string(op.request) + ", posted at " +
+               sim::formatTime(op.posted_at) + ") never exchanged");
+    }
+    for (const RmaOpDescriptor& op : ns.rma_retry) {
+      leak(Category::kOrphanedRetransmit, n, op.job, op.origin_rank,
+           std::string("rma ") + rmaKindName(op.kind) + " to window " +
+               std::to_string(op.window) + " of rank " +
+               std::to_string(op.target_rank) + " stuck after " +
+               std::to_string(op.retries) + " retransmission(s)");
+    }
+    for (const RmaOpDescriptor& op : ns.rma_inbound) {
+      leak(Category::kLeakedDescriptor, n, op.job, op.target_rank,
+           std::string("rma ") + rmaKindName(op.kind) + " from rank " +
+               std::to_string(op.origin_rank) + " on window " +
+               std::to_string(op.window) + " (req " +
+               std::to_string(op.request) + ") never applied");
+    }
+    for (const RmaOpDescriptor& op : ns.rma_returns) {
+      leak(Category::kOrphanedRetransmit, n, op.job, op.target_rank,
+           std::string("rma ") + rmaKindName(op.kind) + " completion for rank " +
+               std::to_string(op.origin_rank) + " (req " +
+               std::to_string(op.request) + ") never returned to origin");
+    }
     {
       // chunk_progress is an unordered_map; normalize to key order before
       // reporting so the audit is replay-identical.
@@ -917,12 +945,28 @@ void Runtime::evictNodeState(int node) {
     // Chunks the dead DH would have pulled from live senders.
     failRequest(op.job, op.src_rank, op.send_req, op.dst_rank, op.tag);
   }
+  // RMA ops from live origins that reached the dead node — arrived but not
+  // applied (rma_inbound), or applied with the completion still queued
+  // (rma_returns) — can no longer complete normally.
+  for (const RmaOpDescriptor& op : dead_ns.rma_inbound) {
+    if (nodeOfRank(op.job, op.origin_rank) == node) continue;
+    failRequest(op.job, op.origin_rank, op.request, op.target_rank, op.window);
+  }
+  for (const RmaOpDescriptor& op : dead_ns.rma_returns) {
+    if (nodeOfRank(op.job, op.origin_rank) == node) continue;
+    failRequest(op.job, op.origin_rank, op.request, op.target_rank, op.window);
+  }
 
-  // 2. Ranks on the dead node are gone; their jobs run degraded.
+  // 2. Ranks on the dead node are gone; their jobs run degraded.  Their RMA
+  //    windows go with them — remote ops targeting them fail at the next
+  //    drain instead of writing into unreachable NIC memory.
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     JobState& js = jobs_[j];
     for (std::size_t r = 0; r < js.ranks.size(); ++r) {
-      if (js.node_of_rank[r] != node || js.ranks[r].finished) continue;
+      if (js.node_of_rank[r] != node) continue;
+      windows_.dropOwner(
+          windowOwnerKey(static_cast<int>(j), static_cast<int>(r)));
+      if (js.ranks[r].finished) continue;
       js.degraded = true;
       rankFinished(static_cast<int>(j), static_cast<int>(r));
     }
@@ -957,6 +1001,30 @@ void Runtime::evictNodeState(int node) {
                                        ns.recv_fresh.end(), recv_from_dead),
                         ns.recv_fresh.end());
     ns.recv_eligible.eraseIf(recv_from_dead);
+    // Unexchanged RMA ops aimed at the dead node's windows can never apply.
+    auto rma_to_dead = [this, node](const RmaOpDescriptor& op) {
+      if (nodeOfRank(op.job, op.target_rank) != node) return false;
+      failRequest(op.job, op.origin_rank, op.request, op.target_rank,
+                  op.window);
+      return true;
+    };
+    ns.rma_fresh.erase(std::remove_if(ns.rma_fresh.begin(),
+                                      ns.rma_fresh.end(), rma_to_dead),
+                       ns.rma_fresh.end());
+    ns.rma_retry.erase(std::remove_if(ns.rma_retry.begin(),
+                                      ns.rma_retry.end(), rma_to_dead),
+                       ns.rma_retry.end());
+    // Inbound ops and queued completions whose origin rank died drop
+    // silently — there is no one left to complete them to.
+    auto origin_dead = [this, node](const RmaOpDescriptor& op) {
+      return nodeOfRank(op.job, op.origin_rank) == node;
+    };
+    ns.rma_inbound.erase(std::remove_if(ns.rma_inbound.begin(),
+                                        ns.rma_inbound.end(), origin_dead),
+                         ns.rma_inbound.end());
+    ns.rma_returns.erase(std::remove_if(ns.rma_returns.begin(),
+                                        ns.rma_returns.end(), origin_dead),
+                         ns.rma_returns.end());
     // Descriptors that arrived *from* ranks of the dead node can never be
     // paid off by a DH get; discard them so probes stop seeing ghosts.
     ns.remote_sends.eraseIf([this, node](const SendDescriptor& s) {

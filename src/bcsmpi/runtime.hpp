@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bcs/core.hpp"
+#include "bcs/window.hpp"
 #include "bcsmpi/config.hpp"
 #include "bcsmpi/descriptors.hpp"
 #include "bcsmpi/matching.hpp"
@@ -129,6 +130,9 @@ struct RuntimeStats {
   // Checkpoint/restore (src/snapshot, DESIGN.md §8):
   std::uint64_t checkpoints_taken = 0;  ///< periodic-policy snapshots emitted
   std::uint64_t restores = 0;           ///< times this runtime was restored
+  // One-sided RMA (DESIGN.md §11):
+  std::uint64_t rma_ops = 0;      ///< put/get/fetch-add operations posted
+  std::uint64_t rma_batches = 0;  ///< coalesced batch descriptors exchanged
 
   /// Zeroes every counter (interval measurements around a workload).
   /// Prefer Runtime::resetStats, which preserves structural gauges like
@@ -196,6 +200,33 @@ class Runtime {
                                int root, const void* contrib, void* result,
                                std::size_t count, mpi::Datatype dt,
                                mpi::ReduceOp op);
+
+  // ---- One-sided RMA (rma.cpp, DESIGN.md §11) ----
+  //
+  // Windows are registered symmetrically (every rank registers its windows
+  // in the same order, like MPI_Win_create), so window id N of any target
+  // rank is addressable without metadata exchange.  Ops posted in slice t
+  // are exchanged in t's DEM (coalesced per destination node), applied to
+  // the target window in canonical (job, origin rank, posting seq) order in
+  // t's MSM — which is what makes concurrent fetch-adds resolve identically
+  // serial and parallel — and completed back at the origin so the posting
+  // rank observes the result at the slice t+1 boundary: a passive-target
+  // epoch per slice, no target-side code involved.
+
+  /// Registers a window over (job, rank)'s memory; returns its window id.
+  /// `base` must stay valid until every remote op targeting it completed
+  /// (bound the usage with a barrier, as MPI_Win_free does).
+  int createWindow(int job, int rank, void* base, std::size_t bytes);
+
+  std::uint64_t postPut(int job, int rank, int target, int window,
+                        std::size_t offset, const void* src,
+                        std::size_t bytes);
+  std::uint64_t postGet(int job, int rank, int target, int window,
+                        std::size_t offset, void* dst, std::size_t bytes);
+  /// `old_value` (optional) receives the pre-add word when the op completes.
+  std::uint64_t postFetchAdd(int job, int rank, int target, int window,
+                             std::size_t offset, std::int64_t delta,
+                             std::int64_t* old_value);
 
   bool testRequest(int job, int rank, std::uint64_t req, mpi::Status* status);
 
@@ -348,6 +379,7 @@ class Runtime {
     bool finished = false;
     std::uint64_t next_req = 1;
     int next_coll_gen = 0;
+    int next_rma_call = 0;  ///< RMA call counter (epoch-race blame sites)
     std::uint64_t requests_completed = 0;
     // det-ok: lookup-only by request id; the verify audit (the one walk)
     // collects the keys and sorts them before reporting
@@ -444,6 +476,15 @@ class Runtime {
     /// MSM scratch: candidate recv seqs for this slice's matching pass
     /// (member, not local, so its capacity survives across slices).
     std::vector<std::uint64_t> match_scratch;
+    // One-sided RMA (DESIGN.md §11): ops posted by local ranks await the
+    // next DEM in rma_fresh; ops lost on the wire wait a slice in
+    // rma_retry; ops that arrived for windows homed on this node are
+    // applied by the MSM from rma_inbound; applied ops ride rma_returns
+    // back to their origin node in the P2P microphase.
+    std::deque<RmaOpDescriptor> rma_fresh;
+    std::deque<RmaOpDescriptor> rma_retry;
+    std::vector<RmaOpDescriptor> rma_inbound;
+    std::vector<RmaOpDescriptor> rma_returns;
     // Node Manager
     std::vector<std::pair<int, int>> wake_list;   ///< (job, rank)
     std::vector<std::pair<int, int>> probe_waiters;
@@ -491,6 +532,17 @@ class Runtime {
   void runP2p(int node, std::uint64_t seq);
   void runBbm(int node, std::uint64_t seq);
   void runRm(int node, std::uint64_t seq);
+
+  // One-sided RMA (rma.cpp): DEM coalesced exchange, MSM canonical apply,
+  // P2P completion returns.
+  void drainRmaFifos(int node);
+  void scheduleRmaOps(int node, Duration& cost);
+  void applyRmaOp(int node, const RmaOpDescriptor& op);
+  void runRmaReturns(int node);
+  static std::uint64_t windowOwnerKey(int job, int rank) {
+    return (static_cast<std::uint64_t>(job) << 20) |
+           static_cast<std::uint64_t>(rank);
+  }
 
   // BR helpers
   int preprocessCollectivesCount(int node);
@@ -597,11 +649,24 @@ class Runtime {
                     race::FieldGroup::kRequests, access, site);
     }
   }
+  void raceWindow(int job, int rank, int window,
+                  race::RaceDetector::Access access, const char* site) const {
+    if (race_) {
+      race_->record(race::ObjectKind::kRmaWindow,
+                    (static_cast<std::uint64_t>(job) << 40) |
+                        (static_cast<std::uint64_t>(rank) << 8) |
+                        static_cast<std::uint64_t>(window),
+                    race::FieldGroup::kRma, access, site);
+    }
+  }
 
   net::Cluster& cluster_;
   BcsMpiConfig config_;
   core::BcsCore core_;
   sim::Trace* trace_;
+
+  /// One-sided RMA window table, keyed by windowOwnerKey(job, rank).
+  core::WindowRegistry windows_;
 
   std::vector<JobState> jobs_;
   std::vector<NodeState> nodes_;

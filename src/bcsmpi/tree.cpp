@@ -207,14 +207,17 @@ bool Runtime::treeMemberIdle(const NodeState& ns, Phase p) const {
     case Phase::kDem:
       return ns.wake_list.empty() && ns.bs_retry.empty() &&
              ns.bs_fresh.empty() && ns.recv_fresh.empty() &&
-             ns.coll_fresh.empty();
+             ns.coll_fresh.empty() && ns.rma_fresh.empty() &&
+             ns.rma_retry.empty();
     case Phase::kMsm:
       // Mirrors matchDescriptors' own early-out (matching needs both sides)
-      // plus the chunk scheduler's queue and the collective CAW query.
+      // plus the chunk scheduler's queue, the RMA epoch apply and the
+      // collective CAW query.
       return (ns.recv_eligible.empty() || ns.remote_sends.empty()) &&
-             ns.match_queue.empty() && !any_collective();
+             ns.match_queue.empty() && ns.rma_inbound.empty() &&
+             !any_collective();
     case Phase::kP2p:
-      return ns.slice_gets.empty();
+      return ns.slice_gets.empty() && ns.rma_returns.empty();
     case Phase::kBbm:
     case Phase::kRm:
       return !any_collective();
@@ -241,6 +244,7 @@ Duration Runtime::treeInitMember(int node, Phase p, std::uint64_t seq) {
       Duration match_cost = 0;
       matchDescriptors(node, match_cost);
       scheduleChunks(node);
+      scheduleRmaOps(node, match_cost);
       scheduleCollectiveQueries(node);
       return std::max(config_.msm_floor, match_cost);
     }
@@ -248,9 +252,11 @@ Duration Runtime::treeInitMember(int node, Phase p, std::uint64_t seq) {
       std::vector<GetOp> gets;
       gets.swap(ns.slice_gets);
       ns.slice_gets.reserve(gets.capacity());
-      const Duration busy = static_cast<Duration>(gets.size()) *
-                            config_.nic_desc_processing;
+      const Duration busy =
+          static_cast<Duration>(gets.size() + ns.rma_returns.size()) *
+          config_.nic_desc_processing;
       issueGets(node, gets);
+      runRmaReturns(node);
       return busy;
     }
     case Phase::kBbm: {

@@ -18,6 +18,7 @@ const char* objectKindName(ObjectKind k) {
     case ObjectKind::kShardQueue: return "shard-queue";
     case ObjectKind::kPoolStripe: return "pool-stripe";
     case ObjectKind::kStatStripe: return "stat-stripe";
+    case ObjectKind::kRmaWindow: return "rma-window";
   }
   return "?";
 }
@@ -37,6 +38,7 @@ const char* fieldGroupName(FieldGroup g) {
     case FieldGroup::kIngress: return "Ingress";
     case FieldGroup::kQueue: return "Queue";
     case FieldGroup::kStripe: return "Stripe";
+    case FieldGroup::kRma: return "RmaWindow";
   }
   return "?";
 }

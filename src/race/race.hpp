@@ -50,6 +50,7 @@ namespace bcs::race {
 ///   kShardQueue     — an engine shard's pending-event queue; id = shard
 ///   kPoolStripe     — payload-pool freelist stripe; id = stripe (exempt)
 ///   kStatStripe     — fabric statistics stripe; id = stripe (exempt)
+///   kRmaWindow      — one-sided RMA window; id = (job << 40) | (rank << 8) | win
 enum class ObjectKind : std::uint8_t {
   kNodeState,
   kRankTable,
@@ -59,6 +60,7 @@ enum class ObjectKind : std::uint8_t {
   kShardQueue,
   kPoolStripe,
   kStatStripe,
+  kRmaWindow,
 };
 const char* objectKindName(ObjectKind k);
 
@@ -80,6 +82,7 @@ enum class FieldGroup : std::uint8_t {
   kIngress,         // endpoint ingress (delivery) side
   kQueue,           // the shard queue itself (cross-shard atOn/cancel)
   kStripe,          // striped shared state (exempt by construction)
+  kRma,             // RMA window memory and epoch queues
 };
 const char* fieldGroupName(FieldGroup g);
 

@@ -23,6 +23,7 @@ const char* traceCategoryName(TraceCategory c) {
     case TraceCategory::kVerify: return "VERIFY";
     case TraceCategory::kApp: return "APP";
     case TraceCategory::kRace: return "RACE";
+    case TraceCategory::kEpochRace: return "EPOCHRACE";
   }
   return "?";
 }

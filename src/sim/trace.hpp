@@ -32,6 +32,7 @@ enum class TraceCategory : std::uint8_t {
   kVerify,      // protocol-verifier findings (src/verify)
   kApp,
   kRace,        // shard-ownership race-detector findings (src/race)
+  kEpochRace,   // RMA epoch-race findings (src/verify, DESIGN.md §11)
 };
 
 const char* traceCategoryName(TraceCategory c);

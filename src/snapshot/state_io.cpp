@@ -114,6 +114,14 @@ void StateIO::checkCapturable(Simulation& sim) {
         refuse("collective in flight (job " + std::to_string(job) + ")");
       }
     }
+    if (!ns.rma_fresh.empty() || !ns.rma_retry.empty() ||
+        !ns.rma_inbound.empty() || !ns.rma_returns.empty()) {
+      refuse("RMA epoch in flight (one-sided ops hold raw window pointers)");
+    }
+  }
+  if (rt.windows_.totalWindows() != 0) {
+    refuse("registered RMA windows (window base addresses cannot be "
+           "serialized; free windows before capture)");
   }
   auto checkCore = [&refuse](core::BcsCore& c, const char* which) {
     for (const auto& per_node : c.events_) {

@@ -21,6 +21,16 @@ const char* collName(bcsmpi::CollectiveType t) {
   return "?";
 }
 
+// Same story for the RMA kind names (rmaKindName lives in bcs_bcsmpi).
+const char* rmaName(bcsmpi::RmaKind k) {
+  switch (k) {
+    case bcsmpi::RmaKind::kPut: return "put";
+    case bcsmpi::RmaKind::kGet: return "get";
+    case bcsmpi::RmaKind::kFetchAdd: return "fetch-add";
+  }
+  return "?";
+}
+
 /// FNV-1a over the operation signature: the per-rank collective *color*.
 /// Two ranks that called the same operation with agreeing parameters get
 /// the same color; the divergence check is color equality.
@@ -58,6 +68,7 @@ const char* categoryName(Category c) {
     case Category::kUnfinishedRequest: return "unfinished-request";
     case Category::kOrphanedRetransmit: return "orphaned-retransmit";
     case Category::kLeakedAck: return "leaked-coalesced-ack";
+    case Category::kEpochRace: return "epoch-race";
   }
   return "?";
 }
@@ -98,7 +109,12 @@ void Verifier::addFinding(Category cat, sim::SimTime now, std::uint64_t slice,
                           int node, int job, int rank, std::string detail) {
   ++report_.counts[static_cast<std::size_t>(cat)];
   if (trace_) {
-    trace_->record(now, sim::TraceCategory::kVerify, node,
+    // Epoch-race findings get their own trace category so RMA-race tests
+    // (and humans grepping traces) can separate them from protocol audits.
+    sim::TraceCategory tc = cat == Category::kEpochRace
+                                ? sim::TraceCategory::kEpochRace
+                                : sim::TraceCategory::kVerify;
+    trace_->record(now, tc, node,
                    std::string(categoryName(cat)) + ": " + detail);
   }
   if (report_.findings.size() >= max_findings_) {
@@ -242,6 +258,49 @@ void Verifier::onMatch(std::uint64_t slice, sim::SimTime now, int node,
                    " with " + std::to_string(eligible_sources) +
                    " eligible senders in the slice: result depends on "
                    "arrival order (replay-determinism hazard)");
+  }
+}
+
+void Verifier::onRmaEpoch(std::uint64_t slice, sim::SimTime now, int node,
+                          const std::vector<bcsmpi::RmaOpDescriptor>& ops) {
+  // `ops` arrives in canonical (job, origin rank, seq) order, so pairwise
+  // scanning reports conflicts deterministically.  Epochs are one slice's
+  // worth of ops for one node — small by construction — so the quadratic
+  // pair walk is fine.
+  auto writes = [](const bcsmpi::RmaOpDescriptor& d) {
+    return d.kind != bcsmpi::RmaKind::kGet;
+  };
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const bcsmpi::RmaOpDescriptor& a = ops[i];
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      const bcsmpi::RmaOpDescriptor& b = ops[j];
+      if (a.job != b.job || a.target_rank != b.target_rank ||
+          a.window != b.window) {
+        continue;
+      }
+      if (a.origin_rank == b.origin_rank) continue;  // program order holds
+      if (!writes(a) && !writes(b)) continue;        // read-read is benign
+      if (a.kind == bcsmpi::RmaKind::kFetchAdd &&
+          b.kind == bcsmpi::RmaKind::kFetchAdd) {
+        continue;  // remote atomics commute; that is their whole point
+      }
+      std::size_t lo = std::max(a.offset, b.offset);
+      std::size_t hi = std::min(a.offset + a.bytes, b.offset + b.bytes);
+      if (lo >= hi) continue;  // disjoint ranges
+      addFinding(
+          Category::kEpochRace, now, slice, node, a.job, a.origin_rank,
+          std::string(rmaName(a.kind)) + " by rank " +
+              std::to_string(a.origin_rank) + " (call #" +
+              std::to_string(a.call_index) + ", posted at " +
+              sim::formatTime(a.posted_at) + ") overlaps " +
+              rmaName(b.kind) + " by rank " + std::to_string(b.origin_rank) +
+              " (call #" + std::to_string(b.call_index) + ", posted at " +
+              sim::formatTime(b.posted_at) + ") on window " +
+              std::to_string(a.window) + " of rank " +
+              std::to_string(a.target_rank) + ", bytes [" +
+              std::to_string(lo) + ", " + std::to_string(hi) +
+              "): epoch outcome is order-dependent");
+    }
   }
 }
 

@@ -63,8 +63,10 @@ enum class Category : int {
   kUnfinishedRequest,         ///< request never completed
   kOrphanedRetransmit,        ///< retry/chunk accounting left behind
   kLeakedAck,                 ///< rack coalesced-ack buffer never drained
+  kEpochRace,                 ///< conflicting RMA ops on one window range
+                              ///< within one passive-target epoch
 };
-inline constexpr int kNumCategories = 7;
+inline constexpr int kNumCategories = 8;
 
 const char* categoryName(Category c);
 
@@ -128,6 +130,19 @@ class Verifier {
   void onMatch(std::uint64_t slice, sim::SimTime now, int node,
                const bcsmpi::SendDescriptor& s, const bcsmpi::RecvDescriptor& r,
                std::size_t eligible_sources);
+
+  /// One node's passive-target RMA epoch: `ops` is the canonically sorted
+  /// batch the MSM is about to apply to windows living on `node` this slice
+  /// (DESIGN.md §11).  Since every op targeting a window lands on the
+  /// window's home node, this is the complete epoch view — the PARCOACH-
+  /// dynamic vantage point.  Two ops from different origin ranks whose
+  /// byte ranges on one (job, target rank, window) overlap, where at least
+  /// one writes and they are not both fetch-adds (remote atomics commute),
+  /// make the epoch's outcome order-dependent under any runtime without
+  /// the canonical-order guarantee; each such pair is reported with origin
+  /// ranks, per-rank call indices and the overlapping range as blame.
+  void onRmaEpoch(std::uint64_t slice, sim::SimTime now, int node,
+                  const std::vector<bcsmpi::RmaOpDescriptor>& ops);
 
   /// Records one finding (used directly by the Runtime's finalize audit).
   void addFinding(Category cat, sim::SimTime now, std::uint64_t slice,

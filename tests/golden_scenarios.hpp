@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/selfsched.hpp"
 #include "apps/wavefront.hpp"
 #include "bcsmpi/comm.hpp"
 #include "net/cluster.hpp"
@@ -237,6 +238,42 @@ inline std::string traceTreeExchange() {
 /// (src/snapshot, DESIGN.md §8).
 inline std::string traceCkptResume() { return snapshot::traceCkptResume(); }
 
+/// One-sided work stealing (src/apps/selfsched, DESIGN.md §11): 8 nodes
+/// running the fetch-add self-scheduler over a 4×-ramped loop.  Pins the
+/// whole RMA epoch pipeline — DEM batch exchange, canonical-order MSM
+/// apply, P2P completion returns — byte-for-byte, including the
+/// chunk→owner map folded in as an app trace line.
+inline std::string traceRmaSteal() {
+  const int P = 8;
+  net::ClusterConfig machine;
+  machine.num_compute_nodes = P;
+  net::Cluster cluster(machine);
+  cluster.trace().enable();
+
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = sim::usec(100);
+  auto runtime = std::make_shared<bcsmpi::Runtime>(cluster, cfg);
+
+  apps::SelfSchedConfig scfg;
+  scfg.chunks = 48;
+  scfg.chunk_batch = 2;
+  scfg.base_cost = sim::usec(90);
+  scfg.cost_ramp = 4.0;
+
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+  bcsmpi::launchJob(*runtime, map, [&cluster, &scfg](mpi::Comm& comm) {
+    const apps::SelfSchedResult res = apps::selfSchedule(comm, scfg);
+    cluster.trace().record(comm.now(), sim::TraceCategory::kApp, comm.rank(),
+                          "self-sched: ran " +
+                              std::to_string(res.chunks.size()) +
+                              " chunk(s), owner digest " +
+                              std::to_string(res.digest));
+  });
+  cluster.run();
+  return cluster.trace().dump();
+}
+
 struct Scenario {
   const char* name;
   std::string (*generate)();
@@ -249,6 +286,7 @@ inline const Scenario kScenarios[] = {
     {"par_soup", &traceParSoup},
     {"tree_exchange", &traceTreeExchange},
     {"ckpt_resume", &traceCkptResume},
+    {"rma_steal", &traceRmaSteal},
 };
 
 }  // namespace bcs::golden

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "apps/selfsched.hpp"
 #include "baseline/baseline.hpp"
 #include "bcsmpi/comm.hpp"
 #include "bcsmpi/matching.hpp"
@@ -494,6 +495,72 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(std::get<0>(info.param) ? "bcsmpi" : "baseline") +
              "_seed" + std::to_string(std::get<1>(info.param)) + "_drop" +
              std::to_string(std::get<2>(info.param)) + "bp";
+    });
+
+// ---- self-scheduler chunk-index conservation ----
+
+// Param: (seed, drop rate in basis points, imbalance ramp ×10).  The
+// fetch-add self-scheduler (DESIGN.md §11) must hand out every loop chunk
+// exactly once no matter how the network behaves: drops force fetch-add
+// retransmissions, but the counter lives behind a single MSM apply point,
+// so a retried claim is re-*delivered*, never re-*applied*.  Crash-free
+// plans only — with the counter intact, conservation must be exact.
+class SelfSchedConservation
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, int>> {};
+
+TEST_P(SelfSchedConservation, EveryChunkIsExecutedExactlyOnce) {
+  const auto [seed, drop_bp, ramp_x10] = GetParam();
+  const int P = 6;
+  net::ClusterConfig ccfg;
+  ccfg.num_compute_nodes = P;
+  ccfg.seed = seed;
+  ccfg.faults.dropRate(drop_bp / 10000.0);
+  net::Cluster cluster(ccfg);
+  std::vector<int> map(P);
+  std::iota(map.begin(), map.end(), 0);
+
+  apps::SelfSchedConfig scfg;
+  scfg.chunks = 48;
+  scfg.chunk_batch = 1 + static_cast<int>(seed % 3);
+  scfg.base_cost = usec(70);
+  scfg.cost_ramp = ramp_x10 / 10.0;
+
+  std::vector<apps::SelfSchedResult> results(P);
+  bcsmpi::BcsMpiConfig cfg;
+  cfg.runtime_init_overhead = usec(50);
+  bcsmpi::runJob(cluster, cfg, map, [&](mpi::Comm& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        apps::selfSchedule(comm, scfg);
+  });
+
+  std::vector<int> times_run(static_cast<std::size_t>(scfg.chunks), 0);
+  for (const auto& res : results) {
+    for (int c : res.chunks) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, scfg.chunks);
+      ++times_run[static_cast<std::size_t>(c)];
+    }
+  }
+  for (int c = 0; c < scfg.chunks; ++c) {
+    EXPECT_EQ(times_run[static_cast<std::size_t>(c)], 1)
+        << "chunk " << c << " (seed " << seed << ", drop " << drop_bp
+        << "bp)";
+  }
+  // Every rank agreed on the same owner map.
+  for (int r = 1; r < P; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)].digest, results[0].digest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDrops, SelfSchedConservation,
+    ::testing::Combine(::testing::Values(3u, 271u, 65537u),
+                       ::testing::Values(0, 300, 800),
+                       ::testing::Values(10, 40)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_drop" +
+             std::to_string(std::get<1>(info.param)) + "bp_ramp" +
+             std::to_string(std::get<2>(info.param));
     });
 
 }  // namespace

@@ -47,7 +47,8 @@ import sys
 from pathlib import Path
 
 DEFAULT_SCOPE = ["src/sim", "src/bcsmpi", "src/storm", "src/verify",
-                 "src/snapshot", "src/codec", "src/race"]
+                 "src/snapshot", "src/codec", "src/race", "src/apps",
+                 "src/bcs"]
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 
 BANNED = [
